@@ -1,0 +1,377 @@
+//! The simulated annealer device: the full Ocean-style pipeline from a
+//! QUBO to decoded logical samples.
+//!
+//! Pipeline: autoscale → QUBO→Ising → minor-embed onto the hardware
+//! graph → apply chains → simulated anneal with ICE noise → unembed by
+//! majority vote → rank by clean logical energy.
+
+use crate::chain::{embed_ising, suggested_chain_strength, EmbeddedIsing};
+use crate::embed::{find_embedding, Embedding};
+use crate::gauge::Gauge;
+use crate::sampler::{sample_ising_clustered, NoiseModel, SaParams};
+use crate::timing::TimingModel;
+use crate::topology::Topology;
+use nck_qubo::Qubo;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors from the annealing pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnnealError {
+    /// The embedder could not fit the problem onto the hardware graph.
+    EmbeddingFailed {
+        /// Logical variable count of the problem.
+        logical_vars: usize,
+        /// Qubits available on the device.
+        device_qubits: usize,
+    },
+}
+
+impl fmt::Display for AnnealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnealError::EmbeddingFailed { logical_vars, device_qubits } => write!(
+                f,
+                "could not embed {logical_vars}-variable problem into {device_qubits} qubits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnnealError {}
+
+/// One decoded sample.
+#[derive(Clone, Debug)]
+pub struct AnnealSample {
+    /// Logical assignment (`true` = 1).
+    pub assignment: Vec<bool>,
+    /// Energy under the *clean* (unnoised) logical QUBO.
+    pub energy: f64,
+    /// Chains that returned split votes in this read.
+    pub broken_chains: usize,
+}
+
+/// Result of one annealer job.
+#[derive(Clone, Debug)]
+pub struct AnnealResult {
+    /// Samples sorted by ascending energy.
+    pub samples: Vec<AnnealSample>,
+    /// Physical qubits used by the embedding — the paper's Fig. 7
+    /// x-axis metric.
+    pub physical_qubits: usize,
+    /// Longest chain length.
+    pub max_chain_length: usize,
+    /// Fraction of (read × chain) events that broke.
+    pub chain_break_fraction: f64,
+    /// Modeled QPU access time for the job.
+    pub qpu_access_time: Duration,
+    /// The embedding used (for diagnostics).
+    pub embedding: Embedding,
+}
+
+impl AnnealResult {
+    /// The lowest-energy sample (the paper considers "only the best
+    /// (lowest-energy) result" in §VII).
+    pub fn best(&self) -> &AnnealSample {
+        &self.samples[0]
+    }
+
+    /// Aggregate identical assignments, Ocean-`SampleSet` style:
+    /// `(assignment, energy, num_occurrences)` sorted by ascending
+    /// energy then descending count.
+    pub fn aggregate(&self) -> Vec<(Vec<bool>, f64, usize)> {
+        let mut counts: std::collections::HashMap<Vec<bool>, (f64, usize)> =
+            std::collections::HashMap::new();
+        for s in &self.samples {
+            let e = counts.entry(s.assignment.clone()).or_insert((s.energy, 0));
+            e.1 += 1;
+        }
+        let mut out: Vec<(Vec<bool>, f64, usize)> = counts
+            .into_iter()
+            .map(|(a, (e, c))| (a, e, c))
+            .collect();
+        out.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap()
+                .then_with(|| b.2.cmp(&a.2))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+/// A simulated annealing device.
+#[derive(Clone, Debug)]
+pub struct AnnealerDevice {
+    /// Hardware graph.
+    pub topology: Topology,
+    /// Anneal schedule.
+    pub sa: SaParams,
+    /// Analog noise model.
+    pub noise: NoiseModel,
+    /// Timing model.
+    pub timing: TimingModel,
+    /// Chain-strength multiplier relative to the suggested value
+    /// (1.0 = default; the chain-strength ablation varies this).
+    pub chain_strength_scale: f64,
+    /// Embedding retries.
+    pub embed_tries: usize,
+    /// Number of spin-reversal (gauge) transforms to average over per
+    /// job (1 = identity only). Gauge averaging decorrelates the
+    /// systematic part of the ICE noise, an Ocean-stack mitigation.
+    pub num_gauges: usize,
+    /// Polish each decoded sample to a local minimum of the logical
+    /// QUBO (`SteepestDescentComposite`); part of the few-ms
+    /// post-processing in the §VIII-C timing breakdown.
+    pub postprocess: bool,
+    /// When the heuristic embedder fails and the topology is
+    /// `pegasus_like(m)`, fall back to the precomputed clique
+    /// embedding for that `m` (the `DWaveCliqueSampler` pattern).
+    pub clique_fallback: Option<usize>,
+}
+
+impl AnnealerDevice {
+    /// The simulated Advantage 4.1 preset (5,640 qubits).
+    pub fn advantage_4_1() -> Self {
+        AnnealerDevice {
+            topology: Topology::advantage_4_1(),
+            sa: SaParams::default(),
+            noise: NoiseModel::dwave_default(),
+            timing: TimingModel::dwave_default(),
+            chain_strength_scale: 1.0,
+            embed_tries: 5,
+            num_gauges: 1,
+            postprocess: false,
+            clique_fallback: Some(16),
+        }
+    }
+
+    /// A small ideal device for tests: complete connectivity, no noise.
+    pub fn ideal(num_qubits: usize) -> Self {
+        AnnealerDevice {
+            topology: Topology::complete(num_qubits),
+            sa: SaParams { num_sweeps: 256, ..SaParams::default() },
+            noise: NoiseModel::ideal(),
+            timing: TimingModel::dwave_default(),
+            chain_strength_scale: 1.0,
+            embed_tries: 3,
+            num_gauges: 1,
+            postprocess: false,
+            clique_fallback: None,
+        }
+    }
+
+    /// Run one job of `num_reads` samples on `qubo`, finding a fresh
+    /// minor embedding.
+    pub fn sample_qubo(
+        &self,
+        qubo: &Qubo,
+        num_reads: usize,
+        seed: u64,
+    ) -> Result<AnnealResult, AnnealError> {
+        let adj = qubo.adjacency();
+        let embedding = find_embedding(&adj, &self.topology, seed, self.embed_tries)
+            .or_else(|| {
+                // Dense problems can defeat the heuristic; the clique
+                // embedding hosts any minor of K_n directly.
+                self.clique_fallback.and_then(|m| {
+                    Topology::pegasus_like_clique_embedding(m, qubo.num_vars())
+                })
+            })
+            .ok_or(AnnealError::EmbeddingFailed {
+                logical_vars: qubo.num_vars(),
+                device_qubits: self.topology.num_qubits(),
+            })?;
+        self.sample_qubo_embedded(qubo, &embedding, num_reads, seed)
+    }
+
+    /// Run one job reusing a previously found embedding — the
+    /// `FixedEmbeddingComposite` pattern: scaling studies re-submit the
+    /// same problem structure many times, and re-embedding per job
+    /// would dominate.
+    pub fn sample_qubo_embedded(
+        &self,
+        qubo: &Qubo,
+        embedding: &Embedding,
+        num_reads: usize,
+        seed: u64,
+    ) -> Result<AnnealResult, AnnealError> {
+        // Autoscale to the device range [−1, 1] (argmin-preserving).
+        let mut scaled = qubo.clone();
+        let m = scaled.max_abs_coeff();
+        if m > 0.0 {
+            scaled.scale(1.0 / m);
+        }
+        let logical = scaled.to_ising();
+        let strength = suggested_chain_strength(&logical) * self.chain_strength_scale;
+        let embedded: EmbeddedIsing =
+            embed_ising(&logical, embedding, &self.topology, strength);
+        // Split the reads across spin-reversal transforms; gauge 0 is
+        // the identity so num_gauges = 1 preserves the plain behavior.
+        let gauges = self.num_gauges.max(1);
+        let mut samples: Vec<AnnealSample> = Vec::with_capacity(num_reads);
+        let n_phys = self.topology.num_qubits();
+        for gi in 0..gauges {
+            let reads_here = num_reads / gauges + usize::from(gi < num_reads % gauges);
+            if reads_here == 0 {
+                continue;
+            }
+            let gauge = if gi == 0 {
+                Gauge::identity(n_phys)
+            } else {
+                Gauge::random(n_phys, seed ^ (gi as u64).wrapping_mul(0xd1b54a32d192ed03))
+            };
+            let physical = gauge.apply(&embedded.physical);
+            let reads = sample_ising_clustered(
+                &physical,
+                &self.sa,
+                &self.noise,
+                reads_here,
+                seed ^ gi as u64,
+                embedding.chains(),
+            );
+            for r in &reads {
+                let ungauged = gauge.decode(r);
+                let (mut assignment, broken_chains) = embedded.unembed(&ungauged);
+                let mut energy = qubo.energy(&assignment);
+                if self.postprocess {
+                    let (polished, e, _) =
+                        crate::postprocess::steepest_descent(qubo, &assignment);
+                    assignment = polished;
+                    energy = e;
+                }
+                samples.push(AnnealSample { assignment, energy, broken_chains });
+            }
+        }
+        samples.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
+        let total_chains = embedding.num_logical().max(1) * num_reads.max(1);
+        let broken: usize = samples.iter().map(|s| s.broken_chains).sum();
+        Ok(AnnealResult {
+            physical_qubits: embedding.num_physical(),
+            max_chain_length: embedding.max_chain_length(),
+            chain_break_fraction: broken as f64 / total_chains as f64,
+            qpu_access_time: self.timing.qpu_access_time(num_reads),
+            embedding: embedding.clone(),
+            samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Vertex-cover-edge QUBO: ground states are the three assignments
+    /// with at least one TRUE.
+    fn edge_qubo() -> Qubo {
+        let mut q = Qubo::new(2);
+        q.add_quadratic(0, 1, 1.0);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, -1.0);
+        q
+    }
+
+    #[test]
+    fn ideal_device_finds_ground_state() {
+        let dev = AnnealerDevice::ideal(8);
+        let r = dev.sample_qubo(&edge_qubo(), 20, 1).unwrap();
+        assert_eq!(r.best().energy, -1.0);
+        assert_eq!(r.physical_qubits, 2);
+        assert_eq!(r.max_chain_length, 1);
+        assert_eq!(r.chain_break_fraction, 0.0);
+    }
+
+    #[test]
+    fn samples_sorted_by_energy() {
+        let dev = AnnealerDevice::ideal(8);
+        let r = dev.sample_qubo(&edge_qubo(), 25, 2).unwrap();
+        for w in r.samples.windows(2) {
+            assert!(w[0].energy <= w[1].energy);
+        }
+    }
+
+    #[test]
+    fn embedding_failure_reported() {
+        // 20-variable complete QUBO into 8 qubits: impossible.
+        let mut q = Qubo::new(20);
+        for i in 0..20 {
+            for j in i + 1..20 {
+                q.add_quadratic(i, j, 1.0);
+            }
+        }
+        let dev = AnnealerDevice::ideal(8);
+        match dev.sample_qubo(&q, 5, 3) {
+            Err(AnnealError::EmbeddingFailed { logical_vars: 20, device_qubits: 8 }) => {}
+            other => panic!("expected embedding failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn advantage_preset_runs_small_problem() {
+        let dev = AnnealerDevice::advantage_4_1();
+        let r = dev.sample_qubo(&edge_qubo(), 100, 4).unwrap();
+        assert_eq!(r.samples.len(), 100);
+        // §VIII-C: a 100-sample job costs about 30 ms of QPU time.
+        assert!(r.qpu_access_time >= Duration::from_millis(25));
+        assert!(r.qpu_access_time <= Duration::from_millis(35));
+        // The best of 100 reads of a 2-variable problem is optimal even
+        // with noise.
+        assert_eq!(r.best().energy, -1.0);
+    }
+
+    #[test]
+    fn qubits_used_exceed_variables_on_dense_problems() {
+        // §VIII-A: dense coupling forces chains. K12 on the
+        // Pegasus-like lattice (degree 15) still usually chains some
+        // variables; check physical ≥ logical at minimum.
+        let mut q = Qubo::new(12);
+        for i in 0..12 {
+            for j in i + 1..12 {
+                q.add_quadratic(i, j, -1.0);
+            }
+        }
+        let dev = AnnealerDevice::advantage_4_1();
+        let r = dev.sample_qubo(&q, 10, 5).unwrap();
+        assert!(r.physical_qubits >= 12);
+    }
+
+    #[test]
+    fn aggregate_counts_duplicates() {
+        let dev = AnnealerDevice::ideal(8);
+        let r = dev.sample_qubo(&edge_qubo(), 40, 7).unwrap();
+        let agg = r.aggregate();
+        let total: usize = agg.iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 40);
+        assert!(agg.len() <= 4, "only 4 assignments exist");
+        // Sorted by energy: the ground states come first.
+        assert_eq!(agg[0].1, -1.0);
+        for w in agg.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let dev = AnnealerDevice::advantage_4_1();
+        let a = dev.sample_qubo(&edge_qubo(), 10, 9).unwrap();
+        let b = dev.sample_qubo(&edge_qubo(), 10, 9).unwrap();
+        let key = |r: &AnnealResult| -> Vec<(Vec<bool>, u64)> {
+            r.samples
+                .iter()
+                .map(|s| (s.assignment.clone(), s.energy.to_bits()))
+                .collect()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn autoscaling_preserves_argmin() {
+        // Huge coefficients would swamp fixed beta schedules without
+        // autoscaling.
+        let mut q = edge_qubo();
+        q.scale(1e6);
+        let dev = AnnealerDevice::ideal(4);
+        let r = dev.sample_qubo(&q, 20, 6).unwrap();
+        assert_eq!(r.best().energy, -1e6);
+    }
+}

@@ -1,0 +1,650 @@
+//! Heuristic minor embedding (the role of `minorminer` in the Ocean
+//! stack).
+//!
+//! A logical problem graph rarely matches the hardware graph, so each
+//! logical variable is mapped to a *chain* of physical qubits forming a
+//! connected subgraph, with every logical edge realized by at least one
+//! physical coupler between the two chains (§VIII-A of the paper: "a
+//! variable may need to be mapped to a chain of qubits … the more
+//! densely connected the problem, the more qubits are required to
+//! represent each variable").
+//!
+//! The algorithm follows the minorminer idea: chains are routed with
+//! Dijkstra searches in which a qubit already used by `k` other chains
+//! costs `PENALTY^k`, so overlap is allowed early but exponentially
+//! discouraged. Repeated rip-up-and-reroute sweeps (with the penalty
+//! rising each sweep) drive the embedding overlap-free; several seeded
+//! restarts are attempted before giving up.
+
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// A minor embedding: one chain of physical qubits per logical
+/// variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embedding {
+    chains: Vec<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Build an embedding from explicit chains (validate with
+    /// [`Embedding::is_valid`] before use).
+    pub fn from_chains(chains: Vec<Vec<usize>>) -> Self {
+        Embedding { chains }
+    }
+
+    /// The chain (sorted physical qubits) of logical variable `v`.
+    pub fn chain(&self, v: usize) -> &[usize] {
+        &self.chains[v]
+    }
+
+    /// All chains, indexed by logical variable.
+    pub fn chains(&self) -> &[Vec<usize>] {
+        &self.chains
+    }
+
+    /// Number of logical variables.
+    pub fn num_logical(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total physical qubits used — the paper's "number of qubits"
+    /// metric for D-Wave runs (Fig. 7's x axis).
+    pub fn num_physical(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// Length of the longest chain.
+    pub fn max_chain_length(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Validate against the logical adjacency and the hardware graph:
+    /// chains non-empty, disjoint, connected, and every logical edge
+    /// covered by a physical coupler.
+    pub fn is_valid(&self, logical_adj: &[Vec<usize>], topo: &Topology) -> bool {
+        let mut owner = vec![usize::MAX; topo.num_qubits()];
+        for (v, chain) in self.chains.iter().enumerate() {
+            if chain.is_empty() {
+                return false;
+            }
+            for &q in chain {
+                if q >= topo.num_qubits() || owner[q] != usize::MAX {
+                    return false;
+                }
+                owner[q] = v;
+            }
+        }
+        // Connectivity of each chain.
+        for chain in &self.chains {
+            let mut seen = vec![false; chain.len()];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(i) = stack.pop() {
+                for (j, &q) in chain.iter().enumerate() {
+                    if !seen[j] && topo.coupled(chain[i], q) {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+            if !seen.iter().all(|&s| s) {
+                return false;
+            }
+        }
+        // Edge coverage.
+        for (u, nbrs) in logical_adj.iter().enumerate() {
+            for &v in nbrs {
+                if v <= u {
+                    continue;
+                }
+                let covered = self.chains[u]
+                    .iter()
+                    .any(|&a| topo.neighbors(a).iter().any(|&b| owner[b] == v));
+                if !covered {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Find a minor embedding of `logical_adj` into `topo`, retrying with
+/// `tries` random restarts. Returns `None` if every attempt fails.
+pub fn find_embedding(
+    logical_adj: &[Vec<usize>],
+    topo: &Topology,
+    seed: u64,
+    tries: usize,
+) -> Option<Embedding> {
+    for t in 0..tries {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+        if let Some(e) = try_embed(logical_adj, topo, &mut rng) {
+            debug_assert!(e.is_valid(logical_adj, topo));
+            return Some(e);
+        }
+    }
+    None
+}
+
+/// Cost of stepping onto a qubit used by `usage` other chains, with an
+/// overlap penalty `base` that escalates across sweeps.
+fn qubit_weight(usage: u32, base: u64) -> u64 {
+    base.saturating_pow(usage.min(10))
+}
+
+/// Rip-up-and-reroute sweeps until overlap-free or the sweep budget
+/// runs out.
+fn try_embed(logical_adj: &[Vec<usize>], topo: &Topology, rng: &mut StdRng) -> Option<Embedding> {
+    const MAX_SWEEPS: usize = 24;
+    let n = logical_adj.len();
+    let nq = topo.num_qubits();
+    if n == 0 {
+        return Some(Embedding { chains: Vec::new() });
+    }
+    if n > nq {
+        return None;
+    }
+    // Connectivity-aware placement order: seed at a max-degree
+    // variable, then always place the variable with the most
+    // already-placed logical neighbors — otherwise disconnected seeds
+    // scatter across the chip and get joined by enormous chains.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    {
+        let mut placed = vec![false; n];
+        let mut placed_nbrs = vec![0usize; n];
+        let mut tie: Vec<usize> = (0..n).collect();
+        tie.shuffle(rng);
+        for _ in 0..n {
+            let &v = tie
+                .iter()
+                .filter(|&&v| !placed[v])
+                .max_by_key(|&&v| (placed_nbrs[v], logical_adj[v].len()))
+                .expect("unplaced variable remains");
+            placed[v] = true;
+            order.push(v);
+            for &u in &logical_adj[v] {
+                placed_nbrs[u] += 1;
+            }
+        }
+    }
+    let mut chains: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut usage: Vec<u32> = vec![0; nq];
+    let mut base = 4u64;
+    for _sweep in 0..MAX_SWEEPS {
+        // Early sweeps re-route everything; once the layout has mostly
+        // settled, only rip chains that still share qubits — ripping
+        // clean chains just reshuffles the conflict.
+        let targets: Vec<usize> = if _sweep < 3 {
+            order.clone()
+        } else {
+            let mut t: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&v| chains[v].iter().any(|&q| usage[q] > 1))
+                .collect();
+            if t.is_empty() {
+                t = order.clone();
+            }
+            t
+        };
+        for &v in &targets {
+            // Rip out v's current chain.
+            for &q in &chains[v] {
+                usage[q] -= 1;
+            }
+            chains[v].clear();
+            route_chain(v, logical_adj, topo, &mut chains, &mut usage, base, rng)?;
+        }
+        if std::env::var_os("NCK_EMBED_DEBUG").is_some() {
+            let overlapped = usage.iter().filter(|&&u| u > 1).count();
+            let total: usize = chains.iter().map(Vec::len).sum();
+            eprintln!(
+                "sweep {_sweep}: base {base}, {overlapped} overlapped qubits, {total} chain qubits"
+            );
+        }
+        if usage.iter().all(|&u| u <= 1) {
+            // Valid embedding found. Polish: a few more full re-route
+            // sweeps at high penalty usually shrink the chains now that
+            // the global layout has settled; keep the smallest valid
+            // snapshot.
+            trim_chains(logical_adj, topo, &mut chains);
+            rebuild_usage(&chains, &mut usage);
+            let mut best = chains.clone();
+            let mut best_size: usize = best.iter().map(Vec::len).sum();
+            'polish: for _ in 0..2 {
+                for &v in &order {
+                    for &q in &chains[v] {
+                        usage[q] -= 1;
+                    }
+                    chains[v].clear();
+                    if route_chain(v, logical_adj, topo, &mut chains, &mut usage, base, rng)
+                        .is_none()
+                    {
+                        break 'polish;
+                    }
+                }
+                if usage.iter().all(|&u| u <= 1) {
+                    trim_chains(logical_adj, topo, &mut chains);
+                    rebuild_usage(&chains, &mut usage);
+                    let size: usize = chains.iter().map(Vec::len).sum();
+                    if size < best_size {
+                        best = chains.clone();
+                        best_size = size;
+                    }
+                }
+            }
+            for c in &mut best {
+                c.sort_unstable();
+            }
+            return Some(Embedding { chains: best });
+        }
+        // Escalate the overlap penalty and randomize the re-route
+        // order so symmetric configurations cannot oscillate.
+        base = base.saturating_mul(4).min(1 << 40);
+        order.shuffle(rng);
+    }
+    None
+}
+
+/// Recompute the per-qubit usage counts from the chains (needed after
+/// trimming, which edits chains without touching the counters).
+fn rebuild_usage(chains: &[Vec<usize>], usage: &mut [u32]) {
+    usage.fill(0);
+    for chain in chains {
+        for &q in chain {
+            usage[q] += 1;
+        }
+    }
+}
+
+/// Shrink every chain to a minimal connected subgraph that still
+/// covers all of its logical edges. The routed chains contain full
+/// Dijkstra paths and can be badly bloated; trimming removes any qubit
+/// whose deletion keeps the chain connected and every neighbor
+/// reachable. Iterates to a fixpoint.
+fn trim_chains(logical_adj: &[Vec<usize>], topo: &Topology, chains: &mut [Vec<usize>]) {
+    // owner map for coverage checks
+    let mut owner = vec![usize::MAX; topo.num_qubits()];
+    for (v, chain) in chains.iter().enumerate() {
+        for &q in chain {
+            owner[q] = v;
+        }
+    }
+    let connected_without = |chain: &[usize], skip: usize| -> bool {
+        let rest: Vec<usize> = chain.iter().copied().filter(|&q| q != skip).collect();
+        if rest.is_empty() {
+            return false;
+        }
+        let mut seen = vec![false; rest.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for (j, &q) in rest.iter().enumerate() {
+                if !seen[j] && topo.coupled(rest[i], q) {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        seen.iter().all(|&s| s)
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..chains.len() {
+            let mut i = 0;
+            while i < chains[v].len() {
+                let q = chains[v][i];
+                if chains[v].len() > 1 && connected_without(&chains[v], q) {
+                    // Check edge coverage without q.
+                    let covered = logical_adj[v].iter().all(|&u| {
+                        chains[v].iter().any(|&a| {
+                            a != q
+                                && topo.neighbors(a).iter().any(|&b| owner[b] == u)
+                        })
+                    });
+                    if covered {
+                        owner[q] = usize::MAX;
+                        chains[v].swap_remove(i);
+                        changed = true;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// (Re)build the chain of `v`, allowing penalized overlap.
+fn route_chain(
+    v: usize,
+    logical_adj: &[Vec<usize>],
+    topo: &Topology,
+    chains: &mut [Vec<usize>],
+    usage: &mut [u32],
+    base: u64,
+    rng: &mut StdRng,
+) -> Option<()> {
+    let nq = topo.num_qubits();
+    let placed: Vec<usize> = logical_adj[v]
+        .iter()
+        .copied()
+        .filter(|&u| !chains[u].is_empty())
+        .collect();
+    if placed.is_empty() {
+        // Seed at a cheap qubit with usable neighborhood.
+        let start = rng.random_range(0..nq);
+        let q = (0..nq)
+            .map(|i| (start + i) % nq)
+            .min_by_key(|&q| {
+                (
+                    qubit_weight(usage[q], base),
+                    std::cmp::Reverse(
+                        topo.neighbors(q).iter().filter(|&&x| usage[x] == 0).count(),
+                    ),
+                )
+            })?;
+        usage[q] += 1;
+        chains[v].push(q);
+        return Some(());
+    }
+    // Weighted Dijkstra from each placed neighbor's chain. Per-call
+    // random jitter on qubit costs spreads paths across equivalent
+    // corridors — with deterministic tie-breaking, every chain funnels
+    // through the same routes and dense problems never untangle.
+    let jitter: Vec<u16> = (0..nq).map(|_| 16 + rng.random_range(0..8) as u16).collect();
+    let fields: Vec<(Vec<u64>, Vec<usize>)> = placed
+        .iter()
+        .map(|&u| dijkstra_from_chain(&chains[u], usage, topo, base, &jitter))
+        .collect();
+    // Root: qubit minimizing the total path cost to all neighbor
+    // chains, with random tie-breaking so symmetric layouts do not
+    // deterministically collide.
+    let start = rng.random_range(0..nq);
+    let mut best: Option<(u64, usize)> = None;
+    for i in 0..nq {
+        let q = (start + i) % nq;
+        // The root's own occupancy cost, otherwise a fresh chain would
+        // happily sit on top of an existing one (distance 0) forever.
+        let mut sum = qubit_weight(usage[q], base).saturating_mul(jitter[q] as u64);
+        let mut ok = true;
+        for (dist, _) in &fields {
+            if dist[q] == u64::MAX {
+                ok = false;
+                break;
+            }
+            sum = sum.saturating_add(dist[q]);
+        }
+        if ok && best.is_none_or(|(s, _)| sum < s) {
+            best = Some((sum, q));
+        }
+    }
+    let (_, root) = best?;
+    let mut in_chain = vec![false; nq];
+    in_chain[root] = true;
+    usage[root] += 1;
+    chains[v].push(root);
+    // Connect the root to each neighbor chain one at a time, nearest
+    // first, rerunning Dijkstra from the *whole grown chain* so later
+    // paths reuse the trunk built by earlier ones — without this,
+    // high-degree variables get one radial path per neighbor and
+    // chains balloon. The far half of each new path is donated to the
+    // neighbor's chain (the CMR splitting trick).
+    let mut targets: Vec<usize> = (0..placed.len()).collect();
+    targets.sort_by_key(|&i| fields[i].0[root]);
+    for ti in targets {
+        let u = placed[ti];
+        // Already adjacent?
+        let adjacent = chains[v]
+            .iter()
+            .any(|&a| topo.neighbors(a).iter().any(|&b| chains[u].contains(&b)));
+        if adjacent {
+            continue;
+        }
+        let (dist, parent) = dijkstra_from_chain(&chains[v], usage, topo, base, &jitter);
+        // If the chains currently overlap (possible mid-optimization,
+        // before the penalty sweeps separate them), skip routing this
+        // edge — a later sweep re-routes both chains.
+        if chains[u].iter().any(|&cu| dist[cu] == 0) {
+            continue;
+        }
+        // Cheapest qubit adjacent to chain(u) (not inside chain(v)).
+        let mut best: Option<(u64, usize)> = None;
+        for &cu in &chains[u] {
+            for &q in topo.neighbors(cu) {
+                if dist[q] != u64::MAX && !in_chain[q] {
+                    let d = dist[q];
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, q));
+                    }
+                }
+            }
+        }
+        let Some((_, target)) = best else {
+            // Genuinely unreachable from chain(v): abandon this try.
+            return None;
+        };
+        // Walk back from target to chain(v), collecting the new path
+        // (ordered from the chain(v) side to the target side).
+        let mut path = vec![target];
+        let mut cur = target;
+        while dist[cur] != 0 {
+            cur = parent[cur];
+            if dist[cur] != 0 {
+                path.push(cur);
+            }
+        }
+        path.reverse();
+        let split = path.len().div_ceil(2);
+        for (i, &q) in path.iter().enumerate() {
+            if i < split {
+                if !in_chain[q] {
+                    in_chain[q] = true;
+                    usage[q] += 1;
+                    chains[v].push(q);
+                }
+            } else if !chains[u].contains(&q) {
+                usage[q] += 1;
+                chains[u].push(q);
+            }
+        }
+    }
+    Some(())
+}
+
+/// Dijkstra over qubits with node weights `qubit_weight(usage)`;
+/// sources are the chain's qubits at distance 0. Returns (dist,
+/// parent).
+fn dijkstra_from_chain(
+    chain: &[usize],
+    usage: &[u32],
+    topo: &Topology,
+    base: u64,
+    jitter: &[u16],
+) -> (Vec<u64>, Vec<usize>) {
+    let nq = topo.num_qubits();
+    let mut dist = vec![u64::MAX; nq];
+    let mut parent = vec![usize::MAX; nq];
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, usize)> = BinaryHeap::new();
+    for &q in chain {
+        dist[q] = 0;
+        heap.push((std::cmp::Reverse(0), q));
+    }
+    while let Some((std::cmp::Reverse(d), q)) = heap.pop() {
+        if d > dist[q] {
+            continue;
+        }
+        for &x in topo.neighbors(q) {
+            let nd = d
+                .saturating_add(qubit_weight(usage[x], base).saturating_mul(jitter[x] as u64));
+            if nd < dist[x] {
+                dist[x] = nd;
+                parent[x] = q;
+                heap.push((std::cmp::Reverse(nd), x));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_adj(n: usize) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n - 1 {
+            adj[i].push(i + 1);
+            adj[i + 1].push(i);
+        }
+        adj
+    }
+
+    fn complete_adj(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|u| (0..n).filter(|&v| v != u).collect())
+            .collect()
+    }
+
+    #[test]
+    fn identity_embedding_on_complete_topology() {
+        let topo = Topology::complete(8);
+        let adj = complete_adj(6);
+        let e = find_embedding(&adj, &topo, 1, 4).expect("embeds");
+        assert_eq!(e.num_physical(), 6, "complete hardware needs unit chains");
+        assert_eq!(e.max_chain_length(), 1);
+    }
+
+    #[test]
+    fn path_embeds_in_chimera() {
+        let topo = Topology::chimera(2, 2, 4);
+        let adj = path_adj(10);
+        let e = find_embedding(&adj, &topo, 2, 8).expect("embeds");
+        assert!(e.is_valid(&adj, &topo));
+    }
+
+    #[test]
+    fn dense_problem_needs_chains() {
+        // K8 cannot embed in Chimera(2,2,4) with unit chains: hardware
+        // degree is 6 < 7. Chains must appear.
+        let topo = Topology::chimera(2, 2, 4);
+        let adj = complete_adj(8);
+        let e = find_embedding(&adj, &topo, 3, 30).expect("K8 fits in 32 qubits");
+        assert!(e.is_valid(&adj, &topo));
+        assert!(
+            e.num_physical() > 8,
+            "dense logical graph must use chains: {} qubits",
+            e.num_physical()
+        );
+    }
+
+    #[test]
+    fn too_large_problem_fails() {
+        // K10 cannot embed in 8 qubits at all.
+        let topo = Topology::complete(8);
+        let adj = complete_adj(10);
+        assert_eq!(find_embedding(&adj, &topo, 4, 4), None);
+    }
+
+    #[test]
+    fn isolated_variables_get_unit_chains() {
+        let topo = Topology::chimera(1, 1, 4);
+        let adj = vec![Vec::new(); 4];
+        let e = find_embedding(&adj, &topo, 5, 4).expect("embeds");
+        assert_eq!(e.num_physical(), 4);
+        assert!(e.is_valid(&adj, &topo));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let topo = Topology::complete(4);
+        let e = find_embedding(&[], &topo, 6, 1).expect("trivially embeds");
+        assert_eq!(e.num_logical(), 0);
+        assert_eq!(e.num_physical(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_chains() {
+        let topo = Topology::complete(4);
+        let e = Embedding::from_chains(vec![vec![0, 1], vec![1, 2]]);
+        assert!(!e.is_valid(&path_adj(2), &topo));
+    }
+
+    #[test]
+    fn validation_rejects_disconnected_chain() {
+        // Path topology 0-1-2-3: chain {0, 3} is disconnected.
+        let topo = Topology::new("path4", 4, &[(0, 1), (1, 2), (2, 3)]);
+        let e = Embedding::from_chains(vec![vec![0, 3]]);
+        assert!(!e.is_valid(&[vec![]], &topo));
+    }
+
+    #[test]
+    fn validation_rejects_uncovered_edge() {
+        // Two chains with no coupler between them.
+        let topo = Topology::new("two-pairs", 4, &[(0, 1), (2, 3)]);
+        let e = Embedding::from_chains(vec![vec![0], vec![3]]);
+        assert!(!e.is_valid(&path_adj(2), &topo));
+    }
+
+    #[test]
+    fn larger_scale_on_pegasus_like() {
+        // A 48-variable one-hot style problem on the Advantage-scale
+        // lattice (the paper's clique-cover instances are this size).
+        let topo = Topology::pegasus_like(6);
+        let mut adj = vec![Vec::new(); 48];
+        for v in 0..12 {
+            for a in 0..4 {
+                for b in 0..4 {
+                    if a != b {
+                        adj[v * 4 + a].push(v * 4 + b);
+                    }
+                }
+            }
+        }
+        // Ring of one-hot groups with cross couplings.
+        for v in 0..12 {
+            for k in 0..4 {
+                let u = ((v + 1) % 12) * 4 + k;
+                adj[v * 4 + k].push(u);
+                adj[u].push(v * 4 + k);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let e = find_embedding(&adj, &topo, 7, 10).expect("embeds at scale");
+        assert!(e.is_valid(&adj, &topo));
+        assert!(e.num_physical() >= 48);
+    }
+
+    #[test]
+    fn chain_lengths_grow_with_density() {
+        // §VIII-A: denser problems need more physical qubits per
+        // variable. Compare a ring to a complete graph of the same
+        // size on the same hardware.
+        let topo = Topology::chimera(4, 4, 4);
+        let ring = {
+            let mut adj = vec![Vec::new(); 12];
+            for i in 0..12 {
+                adj[i].push((i + 1) % 12);
+                adj[(i + 1) % 12].push(i);
+            }
+            adj
+        };
+        let sparse = find_embedding(&ring, &topo, 11, 10).expect("ring embeds");
+        let dense = find_embedding(&complete_adj(12), &topo, 11, 30).expect("K12 embeds");
+        assert!(
+            dense.num_physical() > sparse.num_physical(),
+            "K12 ({}) should use more qubits than C12 ({})",
+            dense.num_physical(),
+            sparse.num_physical()
+        );
+    }
+}

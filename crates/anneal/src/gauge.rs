@@ -1,0 +1,147 @@
+//! Spin-reversal (gauge) transforms.
+//!
+//! A gauge transform flips a chosen subset `G` of spins: `s'ᵢ = −sᵢ`
+//! for `i ∈ G`, with `h'ᵢ = −hᵢ` and `J'ᵢⱼ = −Jᵢⱼ` when exactly one
+//! endpoint is flipped. Energies are invariant, but analog control
+//! errors (ICE) are *not* gauge-invariant — so averaging jobs over
+//! random gauges decorrelates the systematic part of the noise. This
+//! is D-Wave's standard `num_spin_reversal_transforms` mitigation,
+//! which the Ocean stack applies to jobs like the paper's.
+
+use nck_qubo::Ising;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A gauge: the set of spins to flip, as a boolean mask.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gauge {
+    flip: Vec<bool>,
+}
+
+impl Gauge {
+    /// The identity gauge (no flips).
+    pub fn identity(num_spins: usize) -> Self {
+        Gauge { flip: vec![false; num_spins] }
+    }
+
+    /// A uniformly random gauge.
+    pub fn random(num_spins: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Gauge { flip: (0..num_spins).map(|_| rng.random()).collect() }
+    }
+
+    /// Build from an explicit flip mask.
+    pub fn from_mask(flip: Vec<bool>) -> Self {
+        Gauge { flip }
+    }
+
+    /// Number of spins covered.
+    pub fn num_spins(&self) -> usize {
+        self.flip.len()
+    }
+
+    /// Is spin `i` flipped?
+    pub fn flips(&self, i: usize) -> bool {
+        self.flip[i]
+    }
+
+    /// Transform a problem: `h'ᵢ = ±hᵢ`, `J'ᵢⱼ = ±Jᵢⱼ`.
+    pub fn apply(&self, ising: &Ising) -> Ising {
+        assert_eq!(ising.num_spins(), self.flip.len(), "gauge size mismatch");
+        let sign = |i: usize| if self.flip[i] { -1.0 } else { 1.0 };
+        let mut out = Ising::new(ising.num_spins());
+        out.add_offset(ising.offset());
+        for (i, h) in ising.fields() {
+            out.add_field(i, h * sign(i));
+        }
+        for ((i, j), c) in ising.couplings() {
+            out.add_coupling(i, j, c * sign(i) * sign(j));
+        }
+        out
+    }
+
+    /// Undo the gauge on a sample drawn from the transformed problem.
+    pub fn decode(&self, sample: &[bool]) -> Vec<bool> {
+        sample
+            .iter()
+            .zip(&self.flip)
+            .map(|(&s, &f)| s ^ f)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_ising() -> Ising {
+        let mut ising = Ising::new(4);
+        ising.add_field(0, 0.7);
+        ising.add_field(2, -0.3);
+        ising.add_coupling(0, 1, 1.0);
+        ising.add_coupling(1, 2, -0.5);
+        ising.add_coupling(2, 3, 0.25);
+        ising.add_offset(1.5);
+        ising
+    }
+
+    #[test]
+    fn identity_gauge_is_noop() {
+        let ising = test_ising();
+        let g = Gauge::identity(4);
+        assert_eq!(g.apply(&ising), ising);
+        assert_eq!(g.decode(&[true, false, true, true]), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn energy_invariance() {
+        // E'(s') = E(s) for s' the gauge-image of s.
+        let ising = test_ising();
+        for seed in 0..8 {
+            let g = Gauge::random(4, seed);
+            let transformed = g.apply(&ising);
+            for bits in 0..16u64 {
+                let s: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                // Image of s under the gauge (flip masked spins).
+                let s_img: Vec<bool> =
+                    s.iter().enumerate().map(|(i, &v)| v ^ g.flips(i)).collect();
+                assert!(
+                    (ising.energy(&s) - transformed.energy(&s_img)).abs() < 1e-12,
+                    "gauge broke energy at {bits:04b} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let g = Gauge::random(6, 3);
+        let s = vec![true, false, true, true, false, false];
+        // decode is an involution on the mask.
+        assert_eq!(g.decode(&g.decode(&s)), s);
+    }
+
+    #[test]
+    fn gauge_randomness_is_seeded() {
+        assert_eq!(Gauge::random(10, 5), Gauge::random(10, 5));
+        assert_ne!(Gauge::random(10, 5), Gauge::random(10, 6));
+    }
+
+    #[test]
+    fn transformed_ground_states_map_back() {
+        // AFM pair: ground states (+1,−1), (−1,+1). Flip spin 0: the
+        // transformed problem is ferromagnetic; its ground states map
+        // back to the original ones.
+        let mut ising = Ising::new(2);
+        ising.add_coupling(0, 1, 1.0);
+        let g = Gauge::from_mask(vec![true, false]);
+        let t = g.apply(&ising);
+        assert_eq!(t.coupling(0, 1), -1.0);
+        for s in [[true, true], [false, false]] {
+            assert_eq!(t.energy(&s), -1.0);
+            let back = g.decode(&s);
+            assert_eq!(ising.energy(&back), -1.0);
+            assert_ne!(back[0], back[1]);
+        }
+    }
+}

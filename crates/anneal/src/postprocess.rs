@@ -1,0 +1,142 @@
+//! Sample post-processing: greedy steepest-descent polish.
+//!
+//! The Ocean stack offers `SteepestDescentComposite` to locally improve
+//! raw hardware samples (the few-millisecond "post-processing" step in
+//! the paper's §VIII-C timing breakdown includes the server-side
+//! equivalent). Each sample descends single-variable flips until it
+//! reaches a local minimum of the *logical* QUBO.
+
+use nck_qubo::Qubo;
+
+/// Polish one assignment to a local minimum by steepest descent.
+/// Returns the improved assignment, its energy, and the number of
+/// flips applied.
+pub fn steepest_descent(q: &Qubo, assignment: &[bool]) -> (Vec<bool>, f64, usize) {
+    let n = q.num_vars();
+    assert_eq!(assignment.len(), n, "assignment length mismatch");
+    let mut couplings = vec![Vec::new(); n];
+    for ((i, j), c) in q.quadratic_terms() {
+        couplings[i].push((j, c));
+        couplings[j].push((i, c));
+    }
+    let mut x = assignment.to_vec();
+    let mut energy = q.energy(&x);
+    // delta[i]: energy change if x[i] flips.
+    let mut delta: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut on = q.linear(i);
+            for &(j, c) in &couplings[i] {
+                if x[j] {
+                    on += c;
+                }
+            }
+            if x[i] {
+                -on
+            } else {
+                on
+            }
+        })
+        .collect();
+    let mut flips = 0usize;
+    #[allow(clippy::while_let_loop)] // the break condition is on the value, not the pattern
+    loop {
+        let Some((i, &d)) = delta
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        else {
+            break;
+        };
+        if d >= -1e-12 {
+            break; // local minimum
+        }
+        x[i] = !x[i];
+        energy += d;
+        flips += 1;
+        delta[i] = -delta[i];
+        let si = if x[i] { 1.0 } else { -1.0 };
+        for &(j, c) in &couplings[i] {
+            let sj = if x[j] { -1.0 } else { 1.0 };
+            delta[j] += c * si * sj;
+        }
+    }
+    (x, energy, flips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_qubo::solve_exhaustive;
+
+    #[test]
+    fn already_optimal_is_untouched() {
+        let mut q = Qubo::new(2);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, 2.0);
+        let (x, e, flips) = steepest_descent(&q, &[true, false]);
+        assert_eq!(x, vec![true, false]);
+        assert_eq!(e, -1.0);
+        assert_eq!(flips, 0);
+    }
+
+    #[test]
+    fn descends_to_local_minimum() {
+        // f = -x0 - x1 + 3 x0 x1: minima at 01 and 10; start at 11.
+        let mut q = Qubo::new(2);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, -1.0);
+        q.add_quadratic(0, 1, 3.0);
+        let (x, e, flips) = steepest_descent(&q, &[true, true]);
+        assert_eq!(e, -1.0);
+        assert_eq!(flips, 1);
+        assert_ne!(x[0], x[1]);
+    }
+
+    #[test]
+    fn polish_never_increases_energy() {
+        let mut state = 0xabcdef12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let n = 10;
+            let mut q = Qubo::new(n);
+            for i in 0..n {
+                q.add_linear(i, (next() % 11) as f64 - 5.0);
+                for j in i + 1..n {
+                    if next() % 3 == 0 {
+                        q.add_quadratic(i, j, (next() % 9) as f64 - 4.0);
+                    }
+                }
+            }
+            let start: Vec<bool> = (0..n).map(|i| next() >> i & 1 == 1).collect();
+            let before = q.energy(&start);
+            let (x, e, _) = steepest_descent(&q, &start);
+            assert!(e <= before + 1e-12);
+            assert!((q.energy(&x) - e).abs() < 1e-9, "tracked energy drifted");
+            // Result is 1-flip stable.
+            for i in 0..n {
+                let mut y = x.clone();
+                y[i] = !y[i];
+                assert!(q.energy(&y) >= e - 1e-9, "not a local minimum at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_global_on_smooth_landscape() {
+        // Ferromagnetic chain QUBO: descent from anywhere reaches one
+        // of the two ground states.
+        let mut q = Qubo::new(6);
+        for i in 0..5 {
+            // x_i = x_{i+1} preferred: (x_i - x_{i+1})^2 expansion.
+            q.add_square_of_linear(&[(i, 1.0), (i + 1, -1.0)], 0.0);
+        }
+        let truth = solve_exhaustive(&q);
+        let (_, e, _) = steepest_descent(&q, &[true, false, true, false, true, false]);
+        assert_eq!(e, truth.min_energy);
+    }
+}

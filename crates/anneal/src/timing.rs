@@ -1,0 +1,80 @@
+//! D-Wave QPU access-time model (§VIII-C of the paper).
+//!
+//! "Each job has a single, relatively long programming step (observed
+//! to be on the order of 15 ms) … the cost of a sample includes the
+//! anneal itself (default 20 µs); a readout time … usually 3–4 times as
+//! long as the annealing time; and an added delay between each readout
+//! and the subsequent anneal (about 20 µs each) … a few more
+//! milliseconds for post-processing. … our jobs each spent about 30 ms
+//! apiece on the Advantage system."
+
+use std::time::Duration;
+
+/// Timing model for one annealer job.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingModel {
+    /// One-time programming step per job.
+    pub programming: Duration,
+    /// Anneal time per sample.
+    pub anneal_per_sample: Duration,
+    /// Readout time as a multiple of the anneal time.
+    pub readout_factor: f64,
+    /// Delay between readout and the next anneal.
+    pub delay_per_sample: Duration,
+    /// Post-processing at the end of the job.
+    pub postprocess: Duration,
+}
+
+impl TimingModel {
+    /// The paper's observed Advantage 4.1 numbers.
+    pub fn dwave_default() -> Self {
+        TimingModel {
+            programming: Duration::from_millis(15),
+            anneal_per_sample: Duration::from_micros(20),
+            readout_factor: 3.5,
+            delay_per_sample: Duration::from_micros(20),
+            postprocess: Duration::from_millis(3),
+        }
+    }
+
+    /// Time per sample (anneal + readout + delay).
+    pub fn per_sample(&self) -> Duration {
+        let readout = self.anneal_per_sample.mul_f64(self.readout_factor);
+        self.anneal_per_sample + readout + self.delay_per_sample
+    }
+
+    /// Total QPU access time for a job of `num_reads` samples.
+    pub fn qpu_access_time(&self, num_reads: usize) -> Duration {
+        self.programming + self.per_sample() * num_reads as u32 + self.postprocess
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_samples_cost_less_than_programming() {
+        // §VIII-C: "The total time for the 100 samples is slightly less
+        // than the … programming step."
+        let t = TimingModel::dwave_default();
+        let samples = t.per_sample() * 100;
+        assert!(samples < t.programming, "{samples:?} !< {:?}", t.programming);
+        assert!(samples > t.programming / 2, "should be *slightly* less");
+    }
+
+    #[test]
+    fn full_job_is_about_30ms() {
+        let t = TimingModel::dwave_default();
+        let total = t.qpu_access_time(100);
+        assert!(total >= Duration::from_millis(25) && total <= Duration::from_millis(35),
+            "expected ≈30 ms, got {total:?}");
+    }
+
+    #[test]
+    fn per_sample_breakdown() {
+        let t = TimingModel::dwave_default();
+        // 20 µs anneal + 70 µs readout + 20 µs delay = 110 µs.
+        assert_eq!(t.per_sample(), Duration::from_micros(110));
+    }
+}

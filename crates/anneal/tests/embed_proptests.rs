@@ -1,0 +1,117 @@
+//! Property tests for the annealing pipeline: embedding validity,
+//! energy preservation under chains, and sampler invariants.
+
+use nck_anneal::{embed_ising, find_embedding, sample_ising, NoiseModel, SaParams, Topology};
+use nck_qubo::Ising;
+use proptest::prelude::*;
+
+/// Random sparse logical graph over `n` vertices.
+fn random_adj(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if a != b && !adj[a].contains(&b) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    adj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the embedder returns must validate: disjoint connected
+    /// chains, every logical edge covered.
+    #[test]
+    fn found_embeddings_are_valid(
+        n in 2usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12), 0..20),
+        seed in any::<u64>(),
+    ) {
+        let adj = random_adj(n, &edges);
+        let topo = Topology::chimera(3, 3, 4);
+        if let Some(e) = find_embedding(&adj, &topo, seed, 5) {
+            prop_assert!(e.is_valid(&adj, &topo));
+            prop_assert_eq!(e.num_logical(), n);
+            prop_assert!(e.num_physical() >= n);
+        }
+    }
+
+    /// With intact chains, the embedded physical energy equals the
+    /// logical energy plus the constant chain bonus.
+    #[test]
+    fn intact_chain_energy_matches_logical(
+        n in 2usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8), 1..12),
+        spins in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let adj = random_adj(n, &edges);
+        let topo = Topology::chimera(3, 3, 4);
+        let Some(e) = find_embedding(&adj, &topo, seed, 5) else {
+            return Ok(());
+        };
+        let mut logical = Ising::new(n);
+        for (u, nbrs) in adj.iter().enumerate() {
+            logical.add_field(u, (u as f64 * 0.3) - 0.5);
+            for &v in nbrs {
+                if v > u {
+                    logical.add_coupling(u, v, 1.0 - (v as f64) * 0.1);
+                }
+            }
+        }
+        let strength = 5.0;
+        let emb = embed_ising(&logical, &e, &topo, strength);
+        // Build a physical state with every chain intact.
+        let mut phys = vec![false; topo.num_qubits()];
+        for (v, chain) in e.chains().iter().enumerate() {
+            let s = spins >> v & 1 == 1;
+            for &q in chain {
+                phys[q] = s;
+            }
+        }
+        let (decoded, broken) = emb.unembed(&phys);
+        prop_assert_eq!(broken, 0);
+        let logical_state: Vec<bool> = (0..n).map(|v| spins >> v & 1 == 1).collect();
+        prop_assert_eq!(&decoded, &logical_state);
+        // Physical energy = logical energy − strength·(#intra-chain couplers).
+        let chain_couplers: usize = e
+            .chains()
+            .iter()
+            .map(|chain| {
+                let mut c = 0;
+                for (i, &a) in chain.iter().enumerate() {
+                    for &b in &chain[i + 1..] {
+                        if topo.coupled(a, b) {
+                            c += 1;
+                        }
+                    }
+                }
+                c
+            })
+            .sum();
+        let expect = logical.energy(&logical_state) - strength * chain_couplers as f64;
+        prop_assert!((emb.physical.energy(&phys) - expect).abs() < 1e-9);
+    }
+
+    /// The sampler returns the requested number of full-length reads
+    /// and is deterministic in its seed.
+    #[test]
+    fn sampler_shape_and_determinism(
+        n in 1usize..10,
+        reads in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut ising = Ising::new(n);
+        for i in 0..n {
+            ising.add_field(i, if i % 2 == 0 { -0.7 } else { 0.4 });
+        }
+        let p = SaParams { num_sweeps: 8, ..SaParams::default() };
+        let a = sample_ising(&ising, &p, &NoiseModel::dwave_default(), reads, seed);
+        let b = sample_ising(&ising, &p, &NoiseModel::dwave_default(), reads, seed);
+        prop_assert_eq!(a.len(), reads);
+        prop_assert!(a.iter().all(|s| s.len() == n));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the annealing backend: minor embedding,
+//! sampling throughput, and the chain-strength ablation called out in
+//! DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_anneal::{find_embedding, sample_ising, AnnealerDevice, NoiseModel, SaParams, Topology};
+use nck_compile::{compile, CompilerOptions};
+use nck_problems::{Graph, MinVertexCover};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Short measurement windows: the harness runs dozens of benchmarks
+/// and the defaults (3 s warm-up + 5 s measurement each) would take
+/// tens of minutes.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minor_embedding");
+    g.sample_size(10);
+    let topo = Topology::advantage_4_1();
+    for n in [12usize, 24, 48] {
+        let program = MinVertexCover::new(Graph::clique_chain(n / 3)).program();
+        let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+        let adj = compiled.qubo.adjacency();
+        g.bench_with_input(BenchmarkId::new("pegasus_like_16", n), &adj, |b, adj| {
+            b.iter(|| find_embedding(black_box(adj), &topo, 1, 5).expect("embeds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sa_sampling");
+    g.sample_size(10);
+    let program = MinVertexCover::new(Graph::clique_chain(8)).program();
+    let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+    let ising = compiled.qubo.to_ising();
+    for reads in [10usize, 100] {
+        g.bench_with_input(BenchmarkId::new("reads", reads), &reads, |b, &reads| {
+            b.iter(|| {
+                sample_ising(
+                    black_box(&ising),
+                    &SaParams::default(),
+                    &NoiseModel::dwave_default(),
+                    reads,
+                    7,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain_strength_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_strength");
+    g.sample_size(10);
+    let program = MinVertexCover::new(Graph::clique_chain(5)).program();
+    let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+    for scale in [0.5f64, 1.0, 2.0] {
+        let mut device = AnnealerDevice::advantage_4_1();
+        device.chain_strength_scale = scale;
+        g.bench_with_input(
+            BenchmarkId::new("scale", format!("{scale}")),
+            &device,
+            |b, device| {
+                b.iter(|| device.sample_qubo(black_box(&compiled.qubo), 20, 3).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_embedding, bench_sampling, bench_chain_strength_ablation
+}
+criterion_main!(benches);

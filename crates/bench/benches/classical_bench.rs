@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the classical solvers: the Fig. 12 direct
+//! solve, the QUBO branch-and-bound comparator, and brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_classical::{minimize, solve, solve_brute, QuboBbOptions, SolverOptions};
+use nck_compile::{compile, CompilerOptions};
+use nck_problems::{Graph, KSat, MaxCut, MinVertexCover};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Short measurement windows: the harness runs dozens of benchmarks
+/// and the defaults (3 s warm-up + 5 s measurement each) would take
+/// tens of minutes.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+}
+
+fn bench_direct_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("direct_solve_mvc_circulant");
+    for n in [16usize, 32, 64] {
+        let program = MinVertexCover::new(Graph::circulant(n, 4)).program();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| solve(black_box(p), &SolverOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_qubo_bb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qubo_branch_and_bound");
+    g.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let program = MinVertexCover::new(Graph::circulant(n, 4)).program();
+        let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &compiled.qubo, |b, q| {
+            b.iter(|| minimize(black_box(q), &QuboBbOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut g = c.benchmark_group("brute_force");
+    g.sample_size(10);
+    let mc = MaxCut::new(Graph::random_gnm(18, 36, 5)).program();
+    g.bench_function("max_cut_18", |b| {
+        b.iter(|| solve_brute(black_box(&mc)).unwrap())
+    });
+    let sat = KSat::random_3sat(16, 40, 6).program_repeated();
+    g.bench_function("3sat_16", |b| {
+        b.iter(|| solve_brute(black_box(&sat)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_direct_solve, bench_qubo_bb, bench_brute_force
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the NchooseK→QUBO compiler, including the
+//! §VIII-C cache ablation (the paper's unoptimized compiler recompiles
+//! symmetric constraints redundantly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_compile::{compile, compile_constraint, CompilerOptions};
+use nck_core::{Constraint, Hardness, Var};
+use nck_problems::{Graph, MinVertexCover};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Short measurement windows: the harness runs dozens of benchmarks
+/// and the defaults (3 s warm-up + 5 s measurement each) would take
+/// tens of minutes.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+}
+
+fn bench_single_constraint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_constraint");
+    let opts = CompilerOptions::default();
+    let no_closed = CompilerOptions { use_closed_forms: false, ..Default::default() };
+    // Closed-form path: nck over 6 vars, selection {3}.
+    let vars: Vec<Var> = (0..6).map(Var::new).collect();
+    let exact3 = Constraint::new(vars.clone(), [3], Hardness::Hard).unwrap();
+    g.bench_function("exactly_3_of_6/closed_form", |b| {
+        b.iter(|| compile_constraint(black_box(&exact3), &opts).unwrap())
+    });
+    g.bench_function("exactly_3_of_6/smt_search", |b| {
+        b.iter(|| compile_constraint(black_box(&exact3), &no_closed).unwrap())
+    });
+    // Ancilla-requiring shape: XOR (needs the full DPLL search).
+    let xor = Constraint::new(vec![Var::new(0), Var::new(1), Var::new(2)], [0, 2], Hardness::Hard)
+        .unwrap();
+    g.bench_function("xor_with_ancilla/smt_search", |b| {
+        b.iter(|| compile_constraint(black_box(&xor), &opts).unwrap())
+    });
+    // Soft constraint (flat-gap mode).
+    let soft = Constraint::new(vec![Var::new(0), Var::new(1)], [1], Hardness::Soft).unwrap();
+    g.bench_function("soft_cut_edge/flat_gap", |b| {
+        b.iter(|| compile_constraint(black_box(&soft), &opts).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_program_cache_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_program");
+    for n in [16usize, 64, 256] {
+        let program = MinVertexCover::new(Graph::circulant(n, 4)).program();
+        g.bench_with_input(BenchmarkId::new("cache_on", n), &program, |b, p| {
+            b.iter(|| compile(black_box(p), &CompilerOptions::default()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("cache_off", n), &program, |b, p| {
+            b.iter(|| {
+                compile(
+                    black_box(p),
+                    &CompilerOptions {
+                        use_cache: false,
+                        use_closed_forms: false,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_single_constraint, bench_program_cache_ablation
+}
+criterion_main!(benches);

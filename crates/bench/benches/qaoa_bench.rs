@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the gate-model backend: state-vector
+//! simulation, analytic p=1 evaluation at device scale, transpilation,
+//! and the QAOA depth ablation (p = 1 vs 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_circuit::{
+    qaoa1_expectation, qaoa_circuit, qaoa_expectation_sim, transpile, CouplingMap,
+    GateModelDevice,
+};
+use nck_qubo::Qubo;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Short measurement windows: the harness runs dozens of benchmarks
+/// and the defaults (3 s warm-up + 5 s measurement each) would take
+/// tens of minutes.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+}
+
+fn ring_qubo(n: usize) -> Qubo {
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        q.add_quadratic(i, (i + 1) % n, 1.0);
+        q.add_linear(i, if i % 2 == 0 { 0.5 } else { -0.5 });
+    }
+    q
+}
+
+fn bench_expectation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qaoa_expectation");
+    for n in [8usize, 12, 16] {
+        let ising = ring_qubo(n).to_ising();
+        g.bench_with_input(BenchmarkId::new("statevector", n), &ising, |b, ising| {
+            b.iter(|| qaoa_expectation_sim(black_box(ising), &[0.4], &[0.6]))
+        });
+        g.bench_with_input(BenchmarkId::new("analytic_p1", n), &ising, |b, ising| {
+            b.iter(|| qaoa1_expectation(black_box(ising), 0.4, 0.6))
+        });
+    }
+    // Device scale: only the analytic path exists.
+    let big = ring_qubo(65).to_ising();
+    g.bench_function("analytic_p1/65", |b| {
+        b.iter(|| qaoa1_expectation(black_box(&big), 0.4, 0.6))
+    });
+    g.finish();
+}
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpile_brooklyn");
+    g.sample_size(10);
+    let map = CouplingMap::ibmq_brooklyn();
+    for n in [12usize, 24, 48] {
+        let circuit = qaoa_circuit(&ring_qubo(n).to_ising(), &[0.4], &[0.6]);
+        g.bench_with_input(BenchmarkId::new("ring", n), &circuit, |b, circuit| {
+            b.iter(|| transpile(black_box(circuit), &map).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_qaoa_depth_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qaoa_layers");
+    g.sample_size(10);
+    let qubo = ring_qubo(10);
+    let device = GateModelDevice::ideal(10);
+    for p in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("p", p), &p, |b, &p| {
+            b.iter(|| device.run_qaoa(black_box(&qubo), p, 256, 25, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_expectation, bench_transpile, bench_qaoa_depth_ablation
+}
+criterion_main!(benches);

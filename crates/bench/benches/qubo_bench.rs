@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the QUBO substrate: energy evaluation,
+//! composition, conversion, and the parallel exhaustive solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_qubo::{solve_exhaustive, Qubo};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Short measurement windows: the harness runs dozens of benchmarks
+/// and the defaults (3 s warm-up + 5 s measurement each) would take
+/// tens of minutes.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+}
+
+fn dense_qubo(n: usize) -> Qubo {
+    let mut q = Qubo::new(n);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 19) as f64 - 9.0
+    };
+    for i in 0..n {
+        q.add_linear(i, next());
+        for j in i + 1..n {
+            q.add_quadratic(i, j, next());
+        }
+    }
+    q
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("energy_eval");
+    for n in [16usize, 32, 64] {
+        let q = dense_qubo(n);
+        let x: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        g.bench_with_input(BenchmarkId::new("dense", n), &q, |b, q| {
+            b.iter(|| q.energy(black_box(&x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let parts: Vec<Qubo> = (0..64).map(|_| dense_qubo(12)).collect();
+    c.bench_function("compose_64_parts", |b| {
+        b.iter(|| {
+            let mut total = Qubo::new(12);
+            for p in black_box(&parts) {
+                total += p;
+            }
+            total
+        })
+    });
+}
+
+fn bench_ising_conversion(c: &mut Criterion) {
+    let q = dense_qubo(48);
+    c.bench_function("qubo_to_ising_48", |b| b.iter(|| black_box(&q).to_ising()));
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exhaustive_solve");
+    g.sample_size(10);
+    for n in [16usize, 20] {
+        let q = dense_qubo(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| solve_exhaustive(black_box(q)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_energy, bench_compose, bench_ising_conversion, bench_exhaustive
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Figure 10: number of NchooseK constraints versus transpiled circuit
+//! depth, per problem type.
+//!
+//! §VIII-B: "The general trend shows increasing depth as more variables
+//! and constraints are added during problem scaling, albeit at
+//! different rates per problem, i.e., in a problem-specific manner."
+//! This binary prints the (constraints, depth) series per problem so
+//! the per-family slopes are visible, and reports a simple per-problem
+//! correlation.
+//!
+//! Run with: `cargo run --release -p nck-bench --bin fig10`
+
+use nck_bench::{fmt_f, print_table, run_gate_study};
+use std::collections::BTreeMap;
+
+/// Pearson correlation of (x, y) pairs (0 when degenerate).
+fn pearson(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let vx: f64 = pts.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    let vy: f64 = pts.iter().map(|p| (p.1 - my).powi(2)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+fn main() {
+    println!("Figure 10 — constraints vs transpiled circuit depth, per problem\n");
+    let outcomes = run_gate_study(4000, 30);
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .filter(|o| o.quality != "unmappable")
+        .map(|o| {
+            vec![
+                o.problem.clone(),
+                o.label.clone(),
+                o.constraints.to_string(),
+                o.depth.to_string(),
+                o.quality.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["problem", "instance", "constraints", "depth", "result"],
+        &rows,
+    );
+
+    // Per-problem constraint↔depth correlation (the paper's "general
+    // trend ... albeit at different rates per problem").
+    let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for o in outcomes.iter().filter(|o| o.quality != "unmappable") {
+        series
+            .entry(o.problem.clone())
+            .or_default()
+            .push((o.constraints as f64, o.depth as f64));
+    }
+    println!("\nper-problem Pearson correlation (constraints vs depth):");
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|(name, pts)| {
+            let slope = if pts.len() >= 2 {
+                let dx = pts.last().unwrap().0 - pts[0].0;
+                let dy = pts.last().unwrap().1 - pts[0].1;
+                if dx != 0.0 { dy / dx } else { 0.0 }
+            } else {
+                0.0
+            };
+            vec![
+                name.clone(),
+                pts.len().to_string(),
+                fmt_f(pearson(pts), 3),
+                fmt_f(slope, 2),
+            ]
+        })
+        .collect();
+    print_table(&["problem", "points", "correlation", "depth/constraint"], &rows);
+}

@@ -1,0 +1,31 @@
+//! Figure 8: qubits used per problem on the (simulated) IBM Q
+//! ibmq_brooklyn, with optimal / suboptimal / incorrect markers.
+//!
+//! Each instance runs QAOA (p = 1, 4000 shots) once and returns a
+//! single result, per the paper's protocol. Instances needing more
+//! than the device's qubits are reported as unmappable. Expect the
+//! paper's shape: optimal at small scale, then suboptimal, then
+//! incorrect — "there seems to be a discrete barrier to optimal
+//! solutions" — with everything failing earlier than on the annealer.
+//!
+//! Run with: `cargo run --release -p nck-bench --bin fig8`
+
+use nck_bench::{print_table, run_gate_study};
+
+fn main() {
+    println!("Figure 8 — simulated ibmq_brooklyn (65 qubits), QAOA p=1, 4000 shots");
+    println!("qubits used per problem, with result-quality markers\n");
+    let outcomes = run_gate_study(4000, 30);
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.problem.clone(),
+                o.label.clone(),
+                o.qubits.to_string(),
+                o.quality.clone(),
+            ]
+        })
+        .collect();
+    print_table(&["problem", "instance", "qubits", "result"], &rows);
+}

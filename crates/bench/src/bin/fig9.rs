@@ -1,0 +1,39 @@
+//! Figure 9: transpiled circuit depth per problem on the (simulated)
+//! ibmq_brooklyn, with result-quality markers.
+//!
+//! Depth is "the number of gates in the longest path of a single QAOA
+//! circuit" (§VIII-B) after layout, SWAP routing, and basis
+//! decomposition — each QAOA execution runs ~30 structurally identical
+//! circuits differing only in gate parameters, so one transpilation
+//! represents them all. Deeper circuits accumulate more depolarizing
+//! error and decoherence exposure, driving the correctness trend; the
+//! paper also notes the relation is not strict (a deeper circuit
+//! occasionally succeeds where a shallower one failed).
+//!
+//! Run with: `cargo run --release -p nck-bench --bin fig9`
+
+use nck_bench::{fmt_f, print_table, run_gate_study};
+
+fn main() {
+    println!("Figure 9 — simulated ibmq_brooklyn, QAOA p=1, 4000 shots");
+    println!("transpiled circuit depth per problem, with result-quality markers\n");
+    let outcomes = run_gate_study(4000, 30);
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .filter(|o| o.quality != "unmappable")
+        .map(|o| {
+            vec![
+                o.problem.clone(),
+                o.label.clone(),
+                o.depth.to_string(),
+                o.num_swaps.to_string(),
+                fmt_f(o.fidelity, 4),
+                o.quality.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["problem", "instance", "depth", "swaps", "fidelity", "result"],
+        &rows,
+    );
+}

@@ -1,0 +1,130 @@
+//! Table I: complexity comparison across the seven problems.
+//!
+//! For each problem, prints the complexity class, the number of
+//! mutually non-symmetric constraints (Definition 7), the total number
+//! of NchooseK constraints, and the number of handcrafted QUBO terms,
+//! measured on concrete instances at two sizes so the growth trends of
+//! the paper's asymptotic columns are visible.
+//!
+//! Run with: `cargo run --release -p nck-bench --bin table1`
+
+use nck_bench::print_table;
+use nck_problems::{
+    CliqueCover, ExactCover, Graph, KSat, MapColoring, MaxCut, MinSetCover, MinVertexCover,
+    TableCounts,
+};
+
+fn row(name: &str, class: &str, asym: &str, size: String, c: TableCounts) -> Vec<String> {
+    vec![
+        name.to_string(),
+        class.to_string(),
+        asym.to_string(),
+        size,
+        c.nonsymmetric.to_string(),
+        c.nck_constraints.to_string(),
+        c.handcrafted_qubo_terms.to_string(),
+        c.num_vars.to_string(),
+        c.handcrafted_qubo_vars.to_string(),
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    // 1. Exact Cover — n elements, N subsets.
+    for (n, extra) in [(6usize, 3usize), (12, 6)] {
+        let ec = ExactCover::random(n, extra, 1);
+        rows.push(row(
+            "Exact Cover",
+            "NP-C",
+            "n / n / nN^2",
+            format!("n={n}, N={}", ec.subsets().len()),
+            ec.counts(),
+        ));
+    }
+    // 2. Minimum Set Cover — same sets (§VII).
+    for (n, extra) in [(6usize, 3usize), (12, 6)] {
+        let msc = MinSetCover::from_exact_cover(ExactCover::random(n, extra, 1));
+        rows.push(row(
+            "Min. Set Cover",
+            "NP-H",
+            "n / nN / nN^2",
+            format!("n={n}, N={}", msc.subsets().len()),
+            msc.counts(),
+        ));
+    }
+    // 3. Minimum Vertex Cover.
+    for k in [4usize, 8] {
+        let g = Graph::clique_chain(k);
+        let size = format!("|V|={}, |E|={}", g.num_vertices(), g.num_edges());
+        rows.push(row(
+            "Min. Vertex Cover",
+            "NP-H",
+            "2 / |V|+|E| / 3|E|+|V|",
+            size,
+            MinVertexCover::new(g).counts(),
+        ));
+    }
+    // 4. Map Coloring (3 colors).
+    for k in [3usize, 6] {
+        let g = Graph::clique_chain(k);
+        let size = format!("|V|={}, |E|={}, n=3", g.num_vertices(), g.num_edges());
+        rows.push(row(
+            "Map Coloring",
+            "NP-C",
+            "2 / |V|+n|E| / |V|n(2n+1)/2+|E|n",
+            size,
+            MapColoring::new(g, 3).counts(),
+        ));
+    }
+    // 5. Clique Cover (4 cliques on the edge-scaling family).
+    for m in [18usize, 42] {
+        let g = Graph::edge_scaling(m);
+        let size = format!("|V|=12, |E|={m}, n=4");
+        rows.push(row(
+            "Clique Cover",
+            "NP-C",
+            "2 / n(|V|^2-|E|)+|V| / same",
+            size,
+            CliqueCover::new(g, 4).counts(),
+        ));
+    }
+    // 6. 3-SAT (dual-rail).
+    for (n, m) in [(6usize, 9usize), (12, 24)] {
+        let sat = KSat::random_3sat(n, m, 2);
+        rows.push(row(
+            "3-SAT",
+            "NP-C",
+            "2 / n+m / km^2+k^2m",
+            format!("n={n}, m={m}"),
+            sat.counts(),
+        ));
+    }
+    // 7. Max Cut.
+    for k in [4usize, 8] {
+        let g = Graph::clique_chain(k);
+        let size = format!("|V|={}, |E|={}", g.num_vertices(), g.num_edges());
+        rows.push(row(
+            "Max Cut",
+            "NP-H",
+            "1 / |E| / |E|+|V|",
+            size,
+            MaxCut::new(g).counts(),
+        ));
+    }
+    println!("Table I — complexity comparison (measured on concrete instances)");
+    println!("asymptotics column: non-symmetric / NchooseK constraints / QUBO terms\n");
+    print_table(
+        &[
+            "problem",
+            "class",
+            "paper asymptotics",
+            "instance",
+            "non-sym",
+            "nck cons",
+            "QUBO terms",
+            "nck vars",
+            "QUBO vars",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,127 @@
+//! Minimal complex-number type for the state-vector simulator.
+//!
+//! Only what the simulator needs — kept local rather than pulling in a
+//! numerics crate (see DESIGN.md §6).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in Cartesian form.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0i.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// 0 + 1i.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert!(close(a + b, Complex::new(4.0, 1.0)));
+        assert!(close(a - b, Complex::new(-2.0, 3.0)));
+        assert!(close(a * b, Complex::new(5.0, 5.0))); // (1+2i)(3-i)
+        assert!(close(-a, Complex::new(-1.0, -2.0)));
+    }
+
+    #[test]
+    fn cis_and_norm() {
+        let z = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!(close(z, Complex::I));
+        assert!((z.norm() - 1.0).abs() < 1e-12);
+        assert!((Complex::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm() {
+        let z = Complex::new(2.0, -3.0);
+        let p = z * z.conj();
+        assert!((p.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(p.im.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Device coupling maps (which physical qubit pairs support two-qubit
+//! gates).
+//!
+//! The preset models the 65-qubit ibmq_brooklyn (Hummingbird r2) as a
+//! heavy-hex-style lattice: five rows of transmons connected linearly,
+//! with bridge qubits between rows — 65 qubits, maximum degree 3, the
+//! sparse 2-D connectivity that forces the SWAP insertion discussed in
+//! §VIII-B. (The exact brooklyn bridge positions are not reproduced;
+//! degree, qubit count, and 2-D locality are, which is what determines
+//! routing distance and therefore transpiled depth.)
+
+/// An undirected coupling map over physical qubits.
+#[derive(Clone, Debug)]
+pub struct CouplingMap {
+    name: String,
+    num_qubits: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// Build from an edge list.
+    pub fn new(name: impl Into<String>, num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj = vec![Vec::new(); num_qubits];
+        for &(a, b) in edges {
+            assert!(a != b && a < num_qubits && b < num_qubits, "bad edge ({a},{b})");
+            if !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        CouplingMap { name: name.into(), num_qubits, adj }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Neighbors of a physical qubit.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adj[q]
+    }
+
+    /// True iff a two-qubit gate can act directly on `(a, b)`.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// All-pairs shortest-path distances (BFS per qubit).
+    pub fn distances(&self) -> Vec<Vec<u32>> {
+        (0..self.num_qubits).map(|s| self.bfs(s)).collect()
+    }
+
+    fn bfs(&self, source: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.num_qubits];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source] = 0;
+        queue.push_back(source);
+        while let Some(q) = queue.pop_front() {
+            for &x in &self.adj[q] {
+                if dist[x] == u32::MAX {
+                    dist[x] = dist[q] + 1;
+                    queue.push_back(x);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Fully-connected map (ideal device; transpilation inserts no
+    /// SWAPs).
+    pub fn full(num_qubits: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..num_qubits)
+            .flat_map(|a| (a + 1..num_qubits).map(move |b| (a, b)))
+            .collect();
+        CouplingMap::new(format!("full({num_qubits})"), num_qubits, &edges)
+    }
+
+    /// Linear chain.
+    pub fn line(num_qubits: usize) -> Self {
+        let edges: Vec<(usize, usize)> =
+            (0..num_qubits.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        CouplingMap::new(format!("line({num_qubits})"), num_qubits, &edges)
+    }
+
+    /// Heavy-hex-style lattice: `rows` rows of `row_len` qubits in a
+    /// line, with bridge qubits between consecutive rows. Bridge
+    /// columns alternate between `even_cols` (gaps 0, 2, …) and
+    /// `odd_cols` (gaps 1, 3, …); keeping the two sets disjoint keeps
+    /// every qubit at degree ≤ 3, the heavy-hex property.
+    pub fn heavy_hex(rows: usize, row_len: usize, even_cols: &[usize], odd_cols: &[usize]) -> Self {
+        let mut edges = Vec::new();
+        let mut row_start = Vec::with_capacity(rows);
+        let mut next = 0usize;
+        for r in 0..rows {
+            row_start.push(next);
+            for i in 0..row_len - 1 {
+                edges.push((next + i, next + i + 1));
+            }
+            next += row_len;
+            if r + 1 < rows {
+                let cols = if r % 2 == 0 { even_cols } else { odd_cols };
+                let next_row_base = next + cols.len();
+                for (bi, &col) in cols.iter().enumerate() {
+                    assert!(col < row_len, "bridge column {col} out of range");
+                    let bridge = next + bi;
+                    edges.push((row_start[r] + col, bridge));
+                    edges.push((bridge, next_row_base + col));
+                }
+                next += cols.len();
+            }
+        }
+        CouplingMap::new(format!("heavy_hex({rows}x{row_len})"), next, &edges)
+    }
+
+    /// The 65-qubit ibmq_brooklyn-scale preset: 5 rows of 11 qubits
+    /// with bridges at columns {1,5,9} / {3,7} in alternating gaps —
+    /// 5·11 + 2·3 + 2·2 = 65 qubits, degree ≤ 3.
+    pub fn ibmq_brooklyn() -> Self {
+        let mut m = Self::heavy_hex(5, 11, &[1, 5, 9], &[3, 7]);
+        assert_eq!(m.num_qubits, 65);
+        m.name = "ibmq_brooklyn(sim)".into();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brooklyn_has_65_qubits_degree_le_3() {
+        let m = CouplingMap::ibmq_brooklyn();
+        assert_eq!(m.num_qubits(), 65);
+        for q in 0..65 {
+            assert!(m.degree_of(q) <= 3, "qubit {q} degree {}", m.degree_of(q));
+        }
+        // Connected device.
+        let d = m.distances();
+        assert!(d[0].iter().all(|&x| x != u32::MAX));
+    }
+
+    #[test]
+    fn line_distances() {
+        let m = CouplingMap::line(5);
+        let d = m.distances();
+        assert_eq!(d[0][4], 4);
+        assert_eq!(d[2][3], 1);
+        assert_eq!(d[1][1], 0);
+    }
+
+    #[test]
+    fn full_map_all_connected() {
+        let m = CouplingMap::full(6);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    assert!(m.connected(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hex_bridges_link_rows() {
+        let m = CouplingMap::heavy_hex(2, 4, &[1], &[3]);
+        // 2 rows of 4 + 1 bridge = 9 qubits.
+        assert_eq!(m.num_qubits(), 9);
+        // Bridge qubit (id 4) connects row-0 col 1 (id 1) and row-1
+        // col 1 (id 6).
+        assert!(m.connected(1, 4));
+        assert!(m.connected(4, 6));
+    }
+
+    impl CouplingMap {
+        fn degree_of(&self, q: usize) -> usize {
+            self.adj[q].len()
+        }
+    }
+}

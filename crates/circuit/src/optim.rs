@@ -1,0 +1,158 @@
+//! Nelder–Mead simplex optimizer — the classical outer loop of QAOA
+//! (Qiskit's default COBYLA plays this role in the paper; both are
+//! derivative-free direct-search methods).
+
+/// Result of an optimization run.
+#[derive(Clone, Debug)]
+pub struct OptimResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+    /// Optimizer iterations (one reflection cycle each) — the paper's
+    /// "jobs" unit: each iteration submits circuits to the device.
+    pub iterations: usize,
+}
+
+/// Minimize `f` starting from `x0` with Nelder–Mead.
+///
+/// `max_iter` bounds the reflection cycles; `tol` stops early when the
+/// simplex's objective spread falls below it.
+pub fn nelder_mead(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    step: f64,
+    max_iter: usize,
+    tol: f64,
+) -> OptimResult {
+    let n = x0.len();
+    assert!(n >= 1, "need at least one parameter");
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let fx0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), fx0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        x[i] += step;
+        let fx = eval(&x, &mut evals);
+        simplex.push((x, fx));
+    }
+    let mut iterations = 0usize;
+    for _ in 0..max_iter {
+        iterations += 1;
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < tol {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = eval(&reflect, &mut evals);
+        if fr < simplex[0].1 {
+            // Try expanding.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            let fe = eval(&expand, &mut evals);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contract toward the centroid.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = eval(&contract, &mut evals);
+            if fc < worst.1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink toward the best point.
+                let best = simplex[0].0.clone();
+                for entry in &mut simplex[1..] {
+                    let x: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, v)| b + sigma * (v - b))
+                        .collect();
+                    let fx = eval(&x, &mut evals);
+                    *entry = (x, fx);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let (x, fx) = simplex.swap_remove(0);
+    OptimResult { x, fx, evaluations: evals, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let r = nelder_mead(&mut f, &[0.0, 0.0], 0.5, 200, 1e-12);
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "x0 = {}", r.x[0]);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "x1 = {}", r.x[1]);
+        assert!(r.fx < 1e-7);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let mut f =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = nelder_mead(&mut f, &[-1.2, 1.0], 0.5, 2000, 1e-14);
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let mut f = |x: &[f64]| (x[0].sin() - 1.0).powi(2);
+        let r = nelder_mead(&mut f, &[0.1], 0.3, 300, 1e-12);
+        assert!(r.fx < 1e-6);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| {
+            count += 1;
+            x[0] * x[0]
+        };
+        let r = nelder_mead(&mut f, &[5.0], 1.0, 10, 0.0);
+        assert!(r.iterations <= 10);
+        assert_eq!(r.evaluations, count);
+    }
+
+    #[test]
+    fn tolerance_stops_early() {
+        let mut f = |_: &[f64]| 1.0; // flat objective
+        let r = nelder_mead(&mut f, &[0.0, 0.0], 1.0, 1000, 1e-9);
+        assert!(r.iterations <= 2, "flat function should converge immediately");
+    }
+}

@@ -1,0 +1,103 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets circuits built here (QAOA ansätze, transpiled outputs) be
+//! loaded into Qiskit or any other OpenQASM consumer — the
+//! interoperability escape hatch a real NchooseK port would need to
+//! run on actual IBM hardware.
+
+use crate::gates::{Circuit, Gate};
+use std::fmt::Write;
+
+/// Render `circuit` as an OpenQASM 2.0 program with measurement of all
+/// qubits into a classical register.
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    // qelib1 lacks an XY (XX+YY) gate; define it once if needed.
+    if circuit.gates().iter().any(|g| matches!(g, Gate::Xy(..))) {
+        out.push_str(concat!(
+            "gate xy(theta) a, b {\n",
+            "  h a; h b; cx a, b; rz(theta/2) b; cx a, b; h a; h b;\n",
+            "  rx(pi/2) a; rx(pi/2) b; cx a, b; rz(theta/2) b; cx a, b;\n",
+            "  rx(-pi/2) a; rx(-pi/2) b;\n",
+            "}\n",
+        ));
+    }
+    let _ = writeln!(out, "qreg q[{n}];");
+    let _ = writeln!(out, "creg c[{n}];");
+    for g in circuit.gates() {
+        let line = match *g {
+            Gate::H(q) => format!("h q[{q}];"),
+            Gate::X(q) => format!("x q[{q}];"),
+            Gate::Rx(q, t) => format!("rx({t}) q[{q}];"),
+            Gate::Rz(q, t) => format!("rz({t}) q[{q}];"),
+            Gate::Cx(a, b) => format!("cx q[{a}], q[{b}];"),
+            Gate::Rzz(a, b, t) => format!("rzz({t}) q[{a}], q[{b}];"),
+            Gate::Xy(a, b, t) => format!("xy({t}) q[{a}], q[{b}];"),
+            Gate::Swap(a, b) => format!("swap q[{a}], q[{b}];"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "measure q -> c;");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_registers() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;\n"));
+        assert!(q.contains("include \"qelib1.inc\";"));
+        assert!(q.contains("qreg q[3];"));
+        assert!(q.contains("creg c[3];"));
+        assert!(q.ends_with("measure q -> c;\n"));
+    }
+
+    #[test]
+    fn gates_render() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Rzz(0, 1, 0.5));
+        c.push(Gate::Rx(1, -0.25));
+        c.push(Gate::Cx(1, 0));
+        c.push(Gate::Swap(0, 1));
+        let q = to_qasm(&c);
+        assert!(q.contains("h q[0];"));
+        assert!(q.contains("rzz(0.5) q[0], q[1];"));
+        assert!(q.contains("rx(-0.25) q[1];"));
+        assert!(q.contains("cx q[1], q[0];"));
+        assert!(q.contains("swap q[0], q[1];"));
+        // No custom gate needed without XY.
+        assert!(!q.contains("gate xy"));
+    }
+
+    #[test]
+    fn xy_gets_custom_definition() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Xy(0, 1, 0.7));
+        let q = to_qasm(&c);
+        assert!(q.contains("gate xy(theta) a, b {"));
+        assert!(q.contains("xy(0.7) q[0], q[1];"));
+        // The definition must appear before use.
+        assert!(q.find("gate xy").unwrap() < q.find("xy(0.7)").unwrap());
+    }
+
+    #[test]
+    fn qaoa_circuit_exports() {
+        use nck_qubo::Ising;
+        let mut ising = Ising::new(3);
+        ising.add_coupling(0, 1, 1.0);
+        ising.add_field(2, -0.5);
+        let c = crate::qaoa::qaoa_circuit(&ising, &[0.3], &[0.6]);
+        let q = to_qasm(&c);
+        assert!(q.lines().count() > 8);
+        assert!(q.contains("rzz"));
+    }
+}

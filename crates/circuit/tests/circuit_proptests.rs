@@ -1,0 +1,130 @@
+//! Property tests for the gate-model substrate: unitarity, transpile
+//! semantic preservation, and QAOA invariants on random inputs.
+
+use nck_circuit::{
+    qaoa1_expectation, qaoa_circuit, qaoa_expectation_sim, transpile, Circuit, CouplingMap, Gate,
+    StateVector,
+};
+use nck_qubo::Ising;
+use proptest::prelude::*;
+
+/// Strategy: a random circuit over `n` qubits from the full gate set.
+fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0usize..7, 0usize..n, 0usize..n, -3.0f64..3.0).prop_map(
+        move |(kind, a, b, theta)| {
+            let b = if a == b { (b + 1) % n } else { b };
+            match kind {
+                0 => Gate::H(a),
+                1 => Gate::X(a),
+                2 => Gate::Rx(a, theta),
+                3 => Gate::Rz(a, theta),
+                4 => Gate::Cx(a, b),
+                5 => Gate::Rzz(a, b, theta),
+                _ => Gate::Xy(a, b, theta),
+            }
+        },
+    );
+    prop::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every gate is unitary: total probability stays 1.
+    #[test]
+    fn circuits_preserve_normalization(c in circuit_strategy(4, 24)) {
+        let mut s = StateVector::zero(4);
+        s.run(&c);
+        prop_assert!((s.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    /// Transpiling onto a line preserves the output distribution after
+    /// decode, for arbitrary circuits.
+    #[test]
+    fn transpile_preserves_distribution(c in circuit_strategy(4, 16)) {
+        let map = CouplingMap::line(4);
+        let t = transpile(&c, &map).unwrap();
+        let mut ideal = StateVector::zero(4);
+        ideal.run(&c);
+        let mut routed = StateVector::zero(4);
+        routed.run(&t.circuit);
+        for phys in 0..16u64 {
+            let log = t.decode(phys);
+            prop_assert!(
+                (routed.prob(phys as usize) - ideal.prob(log as usize)).abs() < 1e-9,
+                "phys {phys:04b} → log {log:04b}"
+            );
+        }
+    }
+
+    /// The analytic p=1 QAOA expectation matches the simulator for
+    /// random Ising instances and angles.
+    #[test]
+    fn analytic_matches_simulator(
+        fields in prop::collection::vec(-1.0f64..1.0, 5),
+        couplings in prop::collection::vec((0usize..5, 0usize..5, -1.0f64..1.0), 0..8),
+        beta in -1.5f64..1.5,
+        gamma in -1.5f64..1.5,
+    ) {
+        let mut ising = Ising::new(5);
+        for (i, &h) in fields.iter().enumerate() {
+            ising.add_field(i, h);
+        }
+        for &(a, b, j) in &couplings {
+            if a != b {
+                ising.add_coupling(a, b, j);
+            }
+        }
+        let analytic = qaoa1_expectation(&ising, beta, gamma);
+        let sim = qaoa_expectation_sim(&ising, &[beta], &[gamma]);
+        prop_assert!((analytic - sim).abs() < 1e-8, "{analytic} vs {sim}");
+    }
+
+    /// QAOA expectation is bounded by the spectrum of the Hamiltonian.
+    #[test]
+    fn qaoa_expectation_within_spectrum(
+        couplings in prop::collection::vec((0usize..6, 0usize..6, -1.0f64..1.0), 1..10),
+        beta in -1.0f64..1.0,
+        gamma in -1.0f64..1.0,
+    ) {
+        let mut ising = Ising::new(6);
+        for &(a, b, j) in &couplings {
+            if a != b {
+                ising.add_coupling(a, b, j);
+            }
+        }
+        let e = qaoa_expectation_sim(&ising, &[beta], &[gamma]);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for bits in 0..1u64 << 6 {
+            let s: Vec<bool> = (0..6).map(|q| bits >> q & 1 == 1).collect();
+            let v = ising.energy(&s);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "{e} outside [{lo}, {hi}]");
+    }
+
+    /// The QAOA circuit for any Ising is measurement-normalized and its
+    /// depth grows with layers.
+    #[test]
+    fn qaoa_layers_deepen(
+        couplings in prop::collection::vec((0usize..4, 0usize..4, -1.0f64..1.0), 1..5),
+    ) {
+        let mut ising = Ising::new(4);
+        for &(a, b, j) in &couplings {
+            if a != b {
+                ising.add_coupling(a, b, j);
+            }
+        }
+        let c1 = qaoa_circuit(&ising, &[0.3], &[0.5]);
+        let c2 = qaoa_circuit(&ising, &[0.3, 0.2], &[0.5, 0.4]);
+        prop_assert!(c2.depth() > c1.depth());
+        prop_assert_eq!(c2.num_gates(), 2 * c1.num_gates() - 4); // H layer shared
+    }
+}

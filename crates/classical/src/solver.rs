@@ -1,0 +1,594 @@
+//! Exact branch-and-bound solver for NchooseK programs.
+//!
+//! This plays the role Z3 plays in the paper's evaluation (§VIII-C):
+//! the classical baseline that solves programs *directly* — no QUBO
+//! translation — and the oracle that determines the maximum number of
+//! satisfiable soft constraints for Definition 8 classification.
+//!
+//! The search is DPLL-style: assign variables one at a time, propagate
+//! forced values through hard cardinality constraints, and
+//! branch-and-bound on the number of violated soft constraints.
+
+use nck_core::{Constraint, Program};
+use std::time::{Duration, Instant};
+
+/// Solver options.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// Abort after exploring this many nodes (safety valve for
+    /// benchmarks). `u64::MAX` means unlimited.
+    pub node_limit: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions { node_limit: u64::MAX }
+    }
+}
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Decision nodes explored.
+    pub nodes: u64,
+    /// Assignments forced by propagation.
+    pub propagations: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// True if the node limit stopped the search early (the result is
+    /// then a best-effort incumbent, not proven optimal).
+    pub truncated: bool,
+}
+
+/// Outcome of an exact solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Best assignment found: all hard constraints hold and the
+    /// satisfied soft *weight* is maximal (unless the search was
+    /// truncated). With unit weights, weight = count.
+    Solved {
+        /// The optimal assignment (indexed by variable id).
+        assignment: Vec<bool>,
+        /// Number of satisfied soft constraints.
+        soft_satisfied: usize,
+        /// Total weight of satisfied soft constraints.
+        soft_weight: u64,
+    },
+    /// No assignment satisfies every hard constraint.
+    Unsatisfiable,
+}
+
+/// Tracked lifecycle of a constraint during search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Outcome still depends on unassigned variables.
+    Open,
+    /// Satisfied no matter how the remaining variables are assigned.
+    Sat,
+    /// Violated no matter how the remaining variables are assigned.
+    Violated,
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    /// Per constraint: (distinct var index, multiplicity) pairs.
+    members: Vec<Vec<(usize, u32)>>,
+    /// Per constraint: is it hard?
+    hard: Vec<bool>,
+    /// var -> list of (constraint index, multiplicity).
+    by_var: Vec<Vec<(usize, u32)>>,
+    /// Static branching order (most-constrained variables first).
+    order: Vec<usize>,
+    /// Per var: total weight of singleton soft constraints violated by
+    /// TRUE (the minimization pattern `nck({v},{0},soft)`); fuels the
+    /// matching lower bound. Zero when the var has none.
+    prefer_false: Vec<u64>,
+    opts: SolverOptions,
+}
+
+struct State {
+    assigned: Vec<Option<bool>>,
+    /// Per constraint: multiplicity-weighted count of TRUE members.
+    count: Vec<u32>,
+    /// Per constraint: total multiplicity of unassigned members.
+    remaining: Vec<u32>,
+    status: Vec<Status>,
+    /// Total *weight* of soft constraints already determined violated.
+    violated_soft: u64,
+    best_violations: u64,
+    best: Option<(Vec<bool>, usize, u64)>,
+    stats: SolveStats,
+}
+
+/// One undo record: a constraint's previous bookkeeping.
+struct TrailEntry {
+    constraint: usize,
+    count: u32,
+    remaining: u32,
+    status: Status,
+}
+
+/// Solve `program` exactly.
+pub fn solve(program: &Program, opts: &SolverOptions) -> (SolveOutcome, SolveStats) {
+    let start = Instant::now();
+    let n = program.num_vars();
+    let constraints = program.constraints();
+    let members: Vec<Vec<(usize, u32)>> = constraints
+        .iter()
+        .map(|c| {
+            c.multiplicities()
+                .into_iter()
+                .map(|(v, m)| (v.index(), m))
+                .collect()
+        })
+        .collect();
+    let mut by_var: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for (ci, mem) in members.iter().enumerate() {
+        for &(v, m) in mem {
+            by_var[v].push((ci, m));
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(by_var[v].len()));
+    let mut prefer_false = vec![0u64; n];
+    for c in constraints {
+        if !c.is_hard() {
+            let m = c.multiplicities();
+            if let [(v, mult)] = m.as_slice() {
+                // Violated as soon as the variable is TRUE.
+                if !c.selection().contains(mult) && c.selection().contains(&0) {
+                    prefer_false[v.index()] += c.weight() as u64;
+                }
+            }
+        }
+    }
+    let ctx = Ctx {
+        program,
+        hard: constraints.iter().map(Constraint::is_hard).collect(),
+        members,
+        by_var,
+        order,
+        prefer_false,
+        opts: *opts,
+    };
+    let mut state = State {
+        assigned: vec![None; n],
+        count: vec![0; constraints.len()],
+        remaining: constraints.iter().map(|c| c.cardinality()).collect(),
+        status: vec![Status::Open; constraints.len()],
+        violated_soft: 0,
+        best_violations: u64::MAX,
+        best: None,
+        stats: SolveStats::default(),
+    };
+    // Initial status scan: constraints may be decided before any
+    // assignment (tautological or unsatisfiable selection sets).
+    for ci in 0..constraints.len() {
+        refresh_status(&ctx, &mut state, ci);
+        if state.status[ci] == Status::Violated && ctx.hard[ci] {
+            state.stats.elapsed = start.elapsed();
+            return (SolveOutcome::Unsatisfiable, state.stats);
+        }
+    }
+    search(&ctx, &mut state);
+    state.stats.elapsed = start.elapsed();
+    let outcome = match state.best.take() {
+        Some((assignment, soft, weight)) => SolveOutcome::Solved {
+            assignment,
+            soft_satisfied: soft,
+            soft_weight: weight,
+        },
+        None => SolveOutcome::Unsatisfiable,
+    };
+    (outcome, state.stats)
+}
+
+/// Convenience wrapper: the maximum satisfiable soft *weight* (equal
+/// to the maximum satisfied count under unit weights — the paper's
+/// Definition 6 objective), or `None` if the hard constraints are
+/// unsatisfiable.
+pub fn max_soft_satisfiable(program: &Program) -> Option<u64> {
+    match solve(program, &SolverOptions::default()).0 {
+        SolveOutcome::Solved { soft_weight, .. } => Some(soft_weight),
+        SolveOutcome::Unsatisfiable => None,
+    }
+}
+
+/// Does the selection set contain any value in `[lo, hi]`?
+fn selection_hits_range(c: &Constraint, lo: u32, hi: u32) -> bool {
+    c.selection().range(lo..=hi).next().is_some()
+}
+
+/// Does the selection set contain *every* integer in `[lo, hi]`?
+fn selection_covers_range(c: &Constraint, lo: u32, hi: u32) -> bool {
+    c.selection().range(lo..=hi).count() as u64 == u64::from(hi - lo) + 1
+}
+
+/// Recompute a constraint's status from its (count, remaining) pair.
+///
+/// Achievable final counts lie in `[count, count + remaining]` — exact
+/// when all remaining multiplicities are 1, a sound over-approximation
+/// otherwise: `Violated` is only declared when the range misses the
+/// selection entirely (truly violated), and `Sat` only when the range
+/// is fully covered (truly satisfied).
+fn refresh_status(ctx: &Ctx<'_>, state: &mut State, ci: usize) {
+    if state.status[ci] != Status::Open {
+        return;
+    }
+    let c = &ctx.program.constraints()[ci];
+    let lo = state.count[ci];
+    let hi = lo + state.remaining[ci];
+    if !selection_hits_range(c, lo, hi) {
+        state.status[ci] = Status::Violated;
+        if !ctx.hard[ci] {
+            state.violated_soft += c.weight() as u64;
+        }
+    } else if selection_covers_range(c, lo, hi) {
+        state.status[ci] = Status::Sat;
+    }
+}
+
+/// Apply `var := value`, updating every touched constraint and logging
+/// undo records. Returns `false` on a hard conflict (state must still
+/// be undone by the caller).
+fn assign(
+    ctx: &Ctx<'_>,
+    state: &mut State,
+    trail: &mut Vec<TrailEntry>,
+    undo_vars: &mut Vec<usize>,
+    var: usize,
+    value: bool,
+) -> bool {
+    debug_assert!(state.assigned[var].is_none());
+    state.assigned[var] = Some(value);
+    undo_vars.push(var);
+    let mut ok = true;
+    for &(ci, m) in &ctx.by_var[var] {
+        trail.push(TrailEntry {
+            constraint: ci,
+            count: state.count[ci],
+            remaining: state.remaining[ci],
+            status: state.status[ci],
+        });
+        state.remaining[ci] -= m;
+        if value {
+            state.count[ci] += m;
+        }
+        refresh_status(ctx, state, ci);
+        if state.status[ci] == Status::Violated && ctx.hard[ci] {
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Undo every trail entry and assignment made since the branch began.
+fn undo(ctx: &Ctx<'_>, state: &mut State, trail: &mut Vec<TrailEntry>, undo_vars: &mut Vec<usize>) {
+    while let Some(e) = trail.pop() {
+        if state.status[e.constraint] == Status::Violated
+            && e.status != Status::Violated
+            && !ctx.hard[e.constraint]
+        {
+            state.violated_soft -= ctx.program.constraints()[e.constraint].weight() as u64;
+        }
+        state.count[e.constraint] = e.count;
+        state.remaining[e.constraint] = e.remaining;
+        state.status[e.constraint] = e.status;
+    }
+    for v in undo_vars.drain(..) {
+        state.assigned[v] = None;
+    }
+}
+
+/// Unit propagation over hard constraints: if one value of an
+/// unassigned member makes the constraint's achievable range miss the
+/// selection set entirely, the other value is forced. Every assignment
+/// is recorded in `undo_vars`, so the caller can undo even after a
+/// conflict. Returns `false` on conflict.
+fn propagate(
+    ctx: &Ctx<'_>,
+    state: &mut State,
+    trail: &mut Vec<TrailEntry>,
+    undo_vars: &mut Vec<usize>,
+    seed: usize,
+) -> bool {
+    let mut queue = vec![seed];
+    while let Some(v) = queue.pop() {
+        for &(ci, _) in &ctx.by_var[v] {
+            if !ctx.hard[ci] || state.status[ci] != Status::Open {
+                continue;
+            }
+            let c = &ctx.program.constraints()[ci];
+            for &(u, m) in &ctx.members[ci] {
+                if state.assigned[u].is_some() {
+                    continue;
+                }
+                let lo = state.count[ci];
+                let rem = state.remaining[ci];
+                let feasible_true = selection_hits_range(c, lo + m, lo + rem);
+                let feasible_false = selection_hits_range(c, lo, lo + rem - m);
+                let forced = match (feasible_true, feasible_false) {
+                    (false, false) => return false,
+                    (true, false) => Some(true),
+                    (false, true) => Some(false),
+                    (true, true) => None,
+                };
+                if let Some(value) = forced {
+                    state.stats.propagations += 1;
+                    if !assign(ctx, state, trail, undo_vars, u, value) {
+                        return false;
+                    }
+                    queue.push(u);
+                    // The constraint's bookkeeping changed; it is
+                    // rescanned via u's queue entry (u is one of its
+                    // members), so stop this stale scan.
+                    break;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Matching-style lower bound on *additional* soft violations: every
+/// Open hard constraint whose selection now starts above its TRUE
+/// count forces that many more TRUEs among its unassigned members; if
+/// those members all carry prefer-false soft constraints and the
+/// member sets are chosen disjoint (greedy), each forced TRUE violates
+/// a distinct soft constraint.
+fn matching_bound(ctx: &Ctx<'_>, state: &State, used: &mut [bool]) -> u64 {
+    used.fill(false);
+    let mut extra = 0u64;
+    for (ci, members) in ctx.members.iter().enumerate() {
+        if !ctx.hard[ci] || state.status[ci] != Status::Open {
+            continue;
+        }
+        let c = &ctx.program.constraints()[ci];
+        let lo = state.count[ci];
+        let Some(&smin) = c.selection().range(lo..).next() else {
+            continue;
+        };
+        let t_min = (smin - lo) as usize;
+        if t_min == 0 {
+            continue;
+        }
+        let unassigned: Vec<usize> = members
+            .iter()
+            .filter(|&&(v, _)| state.assigned[v].is_none())
+            .map(|&(v, _)| v)
+            .collect();
+        if unassigned.is_empty()
+            || unassigned.iter().any(|&v| used[v] || ctx.prefer_false[v] == 0)
+        {
+            continue;
+        }
+        // The forced TRUEs each violate at least the cheapest member's
+        // prefer-false weight.
+        let min_w = unassigned.iter().map(|&v| ctx.prefer_false[v]).min().unwrap();
+        for &v in &unassigned {
+            used[v] = true;
+        }
+        extra += (t_min.min(unassigned.len()) as u64) * min_w;
+    }
+    extra
+}
+
+fn search(ctx: &Ctx<'_>, state: &mut State) {
+    state.stats.nodes += 1;
+    if state.stats.nodes > ctx.opts.node_limit {
+        state.stats.truncated = true;
+        return;
+    }
+    // Bound: the violated-soft count can only grow deeper in the tree.
+    if state.violated_soft >= state.best_violations {
+        return;
+    }
+    // Stronger bound via forced TRUEs on minimization variables.
+    if state.best_violations != u64::MAX {
+        let mut used = vec![false; state.assigned.len()];
+        let extra = matching_bound(ctx, state, &mut used);
+        if state.violated_soft + extra >= state.best_violations {
+            return;
+        }
+    }
+    let next = ctx.order.iter().copied().find(|&v| state.assigned[v].is_none());
+    let Some(var) = next else {
+        // Full assignment. No hard constraint is Violated (conflicts
+        // prune earlier), so this is feasible; record if it improves.
+        state.best_violations = state.violated_soft;
+        let assignment: Vec<bool> = state.assigned.iter().map(|a| a.unwrap()).collect();
+        let ev = ctx.program.evaluate(&assignment);
+        state.best = Some((assignment, ev.soft_satisfied, ev.soft_weight_satisfied));
+        return;
+    };
+    for value in [false, true] {
+        let mut trail: Vec<TrailEntry> = Vec::new();
+        let mut undo_vars: Vec<usize> = Vec::new();
+        if assign(ctx, state, &mut trail, &mut undo_vars, var, value)
+            && propagate(ctx, state, &mut trail, &mut undo_vars, var)
+        {
+            search(ctx, state);
+        }
+        undo(ctx, state, &mut trail, &mut undo_vars);
+        if state.stats.truncated {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::solve_brute;
+
+    fn assert_matches_brute(p: &Program) {
+        let (outcome, stats) = solve(p, &SolverOptions::default());
+        assert!(!stats.truncated);
+        match (outcome, solve_brute(p)) {
+            (SolveOutcome::Unsatisfiable, None) => {}
+            (SolveOutcome::Solved { assignment, soft_satisfied, soft_weight }, Some(brute)) => {
+                assert_eq!(
+                    soft_weight, brute.max_soft,
+                    "soft optimum mismatch on {p}"
+                );
+                assert!(p.all_hard_satisfied(&assignment));
+                let ev = p.evaluate(&assignment);
+                assert_eq!(ev.soft_satisfied, soft_satisfied);
+                assert_eq!(ev.soft_weight_satisfied, soft_weight);
+            }
+            (got, brute) => panic!("solver {got:?} vs brute {brute:?} on {p}"),
+        }
+    }
+
+    #[test]
+    fn intro_example() {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        let b = p.new_var("b").unwrap();
+        let c = p.new_var("c").unwrap();
+        p.nck(vec![a, b], [0, 1]).unwrap();
+        p.nck(vec![b, c], [1]).unwrap();
+        assert_matches_brute(&p);
+    }
+
+    #[test]
+    fn min_vertex_cover_five() {
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 5).unwrap();
+        for (u, w) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)] {
+            p.nck(vec![vs[u], vs[w]], [1, 2]).unwrap();
+        }
+        for &v in &vs {
+            p.nck_soft(vec![v], [0]).unwrap();
+        }
+        let (outcome, _) = solve(&p, &SolverOptions::default());
+        match outcome {
+            SolveOutcome::Solved { assignment, soft_satisfied, soft_weight } => {
+                assert_eq!(soft_satisfied, 2); // minimum cover size 3
+                assert_eq!(soft_weight, 2);
+                assert_eq!(assignment.iter().filter(|&&b| b).count(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_matches_brute(&p);
+    }
+
+    #[test]
+    fn unsatisfiable_conflicting_units() {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        p.nck(vec![a], [0]).unwrap();
+        p.nck(vec![a], [1]).unwrap();
+        let (outcome, _) = solve(&p, &SolverOptions::default());
+        assert_eq!(outcome, SolveOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn unsatisfiable_by_multiplicity() {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        p.nck(vec![a, a], [1]).unwrap();
+        let (outcome, _) = solve(&p, &SolverOptions::default());
+        assert_eq!(outcome, SolveOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn propagation_solves_chain_without_branching() {
+        // x0 = 1, and x_i XOR x_{i+1} = 1 forces an alternating chain.
+        let mut p = Program::new();
+        let vs = p.new_vars("x", 10).unwrap();
+        p.nck(vec![vs[0]], [1]).unwrap();
+        for i in 0..9 {
+            p.nck(vec![vs[i], vs[i + 1]], [1]).unwrap();
+        }
+        let (outcome, stats) = solve(&p, &SolverOptions::default());
+        match outcome {
+            SolveOutcome::Solved { assignment, .. } => {
+                for (i, &b) in assignment.iter().enumerate() {
+                    assert_eq!(b, i % 2 == 0, "alternating chain broken at {i}");
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(stats.propagations >= 9, "expected unit propagation to fire");
+    }
+
+    #[test]
+    fn max_cut_triangle() {
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 3).unwrap();
+        for (u, w) in [(0, 1), (0, 2), (1, 2)] {
+            p.nck_soft(vec![vs[u], vs[w]], [1]).unwrap();
+        }
+        assert_eq!(max_soft_satisfiable(&p), Some(2));
+        assert_matches_brute(&p);
+    }
+
+    #[test]
+    fn mixed_hard_soft_interaction() {
+        // Hard: exactly one of {a,b,c}; soft: prefer each TRUE.
+        // Optimum satisfies exactly one soft constraint.
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 3).unwrap();
+        p.nck(vs.clone(), [1]).unwrap();
+        for &v in &vs {
+            p.nck_soft(vec![v], [1]).unwrap();
+        }
+        assert_eq!(max_soft_satisfiable(&p), Some(1));
+        assert_matches_brute(&p);
+    }
+
+    #[test]
+    fn node_limit_truncates() {
+        // A soft-constraint-heavy program with a big search space.
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 20).unwrap();
+        for i in 0..19 {
+            p.nck_soft(vec![vs[i], vs[i + 1]], [1]).unwrap();
+        }
+        let (_, stats) = solve(&p, &SolverOptions { node_limit: 10 });
+        assert!(stats.truncated);
+        assert!(stats.nodes <= 11);
+    }
+
+    #[test]
+    fn larger_random_instances_match_brute() {
+        // Deterministic pseudo-random mixed programs, cross-checked
+        // against brute force.
+        let mut seed = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..20 {
+            let n = 6 + (next() % 6) as usize; // 6..11 vars
+            let mut p = Program::new();
+            let vs = p.new_vars("v", n).unwrap();
+            for _ in 0..n {
+                let a = vs[(next() % n as u64) as usize];
+                let b = vs[(next() % n as u64) as usize];
+                let c = vs[(next() % n as u64) as usize];
+                let col: Vec<_> = vec![a, b, c];
+                let card = col.len() as u32;
+                let mut sel: Vec<u32> = Vec::new();
+                for k in 0..=card {
+                    if next() % 2 == 0 {
+                        sel.push(k);
+                    }
+                }
+                if sel.is_empty() {
+                    sel.push(next() as u32 % (card + 1));
+                }
+                if next() % 3 == 0 {
+                    p.nck_soft(col, sel).unwrap();
+                } else {
+                    p.nck(col, sel).unwrap();
+                }
+            }
+            let _ = trial;
+            assert_matches_brute(&p);
+        }
+    }
+}

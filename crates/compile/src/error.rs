@@ -1,0 +1,47 @@
+//! Compiler error type.
+
+use std::fmt;
+
+/// Errors raised while compiling NchooseK constraints to QUBOs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The constraint has no satisfying assignment at all, so the
+    /// program is unsatisfiable by construction.
+    Unsatisfiable(String),
+    /// The coefficient search exhausted its ancilla budget without
+    /// finding a valid QUBO.
+    NoQuboFound {
+        /// Ancilla counts tried (0..=this).
+        ancillas_tried: u32,
+        /// Human-readable shape description.
+        shape: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unsatisfiable(what) => {
+                write!(f, "constraint is unsatisfiable: {what}")
+            }
+            CompileError::NoQuboFound { ancillas_tried, shape } => write!(
+                f,
+                "no QUBO found for shape {shape} with up to {ancillas_tried} ancillas"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CompileError::NoQuboFound { ancillas_tried: 3, shape: "[1,1]/{1}".into() };
+        assert!(e.to_string().contains("up to 3 ancillas"));
+        assert!(CompileError::Unsatisfiable("x".into()).to_string().contains("unsatisfiable"));
+    }
+}

@@ -1,0 +1,677 @@
+//! QUBO coefficient search (the paper's Z3 step, §V).
+//!
+//! Given a constraint shape — the multiset of variable multiplicities
+//! plus the selection set — find rational QUBO coefficients over the
+//! constraint's variables and `a` ancillas such that:
+//!
+//! * every satisfying assignment attains energy 0 for *some* ancilla
+//!   setting and never drops below 0, and
+//! * every violating assignment has energy ≥ 1 for *every* ancilla
+//!   setting.
+//!
+//! That is exactly a QF_LRA formula with one disjunction per satisfying
+//! assignment ("which ancilla setting is the ground witness"), which we
+//! hand to [`nck_smt::DisjunctiveProblem`]. Two search modes:
+//!
+//! * **symmetric** — coefficients are shared between variables of equal
+//!   multiplicity, so the LP is over count vectors rather than raw
+//!   assignments. Exponentially smaller and almost always sufficient.
+//! * **general** — one coefficient per variable/pair, used as a
+//!   fallback for small shapes when the symmetric ansatz fails.
+//!
+//! Ancillas escalate 0, 1, 2, … up to [`MAX_ANCILLAS`]; the first hit
+//! wins, so the ancilla count is minimal for the modes tried.
+
+use crate::error::CompileError;
+use crate::rqubo::RationalQubo;
+use nck_smt::{DisjunctiveProblem, LinConstraint, LinExpr, Rational, Relation};
+use std::collections::BTreeSet;
+
+/// Maximum number of ancilla variables the search will try.
+pub const MAX_ANCILLAS: u32 = 3;
+
+/// Largest `variables + ancillas` for which the general (asymmetric)
+/// fallback enumerates raw assignments.
+const GENERAL_LIMIT: usize = 8;
+
+/// A constraint shape: per-distinct-variable multiplicities (local
+/// variable order) and the selection set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstraintShape {
+    /// Multiplicity of each distinct variable, in local variable order.
+    pub multiplicities: Vec<u32>,
+    /// The selection set.
+    pub selection: BTreeSet<u32>,
+}
+
+impl ConstraintShape {
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.multiplicities.len()
+    }
+
+    /// True iff the weighted TRUE-count of `bits` is in the selection.
+    pub fn satisfied_by(&self, bits: u64) -> bool {
+        let count: u32 = self
+            .multiplicities
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| if bits >> i & 1 == 1 { m } else { 0 })
+            .sum();
+        self.selection.contains(&count)
+    }
+
+    /// True iff at least one assignment satisfies the shape.
+    pub fn satisfiable(&self) -> bool {
+        (0..1u64 << self.num_vars()).any(|bits| self.satisfied_by(bits))
+    }
+}
+
+/// A compiled per-constraint QUBO: exact coefficients over
+/// `[vars..., ancillas...]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledQubo {
+    /// The exact-coefficient QUBO.
+    pub qubo: RationalQubo,
+    /// Number of real (constraint) variables; they occupy local indices
+    /// `0..num_real`.
+    pub num_real: usize,
+    /// Number of ancilla variables, at local indices `num_real..`.
+    pub num_ancillas: usize,
+}
+
+impl CompiledQubo {
+    /// Penalty of assignment `bits` over the real variables: the energy
+    /// minimized over ancilla settings. Zero iff the assignment
+    /// satisfies the source constraint.
+    pub fn penalty(&self, bits: u64) -> Rational {
+        self.qubo.min_over_ancillas(bits, self.num_real)
+    }
+
+    /// The worst-case penalty over all real-variable assignments — used
+    /// to weight hard constraints above the sum of soft penalties.
+    pub fn max_penalty(&self) -> Rational {
+        (0..1u64 << self.num_real)
+            .map(|bits| self.penalty(bits))
+            .max()
+            .expect("at least one assignment")
+    }
+}
+
+/// How violating assignments must be priced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GapMode {
+    /// Every violation costs at least 1 (sufficient for hard
+    /// constraints: any violation already outweighs all soft terms
+    /// after program-level scaling).
+    AtLeastOne,
+    /// Every violation costs *exactly* 1 (required for soft
+    /// constraints: Definition 6 counts violated constraints, so the
+    /// QUBO penalty must be flat across violating assignments).
+    ExactlyOne,
+}
+
+/// Verify that `compiled` represents `shape` exactly: satisfying
+/// assignments have penalty 0, violating ones ≥ 1 (or = 1 under
+/// [`GapMode::ExactlyOne`]). This re-checks the SMT witness with
+/// independent arithmetic, so a compiler bug cannot silently ship a
+/// wrong table.
+pub fn verify_mode(compiled: &CompiledQubo, shape: &ConstraintShape, mode: GapMode) -> bool {
+    let one = Rational::one();
+    for bits in 0..1u64 << compiled.num_real {
+        let p = compiled.penalty(bits);
+        if shape.satisfied_by(bits) {
+            if !p.is_zero() {
+                return false;
+            }
+        } else {
+            match mode {
+                GapMode::AtLeastOne => {
+                    if p < one {
+                        return false;
+                    }
+                }
+                GapMode::ExactlyOne => {
+                    if p != one {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// [`verify_mode`] with the hard-constraint gap.
+pub fn verify(compiled: &CompiledQubo, shape: &ConstraintShape) -> bool {
+    verify_mode(compiled, shape, GapMode::AtLeastOne)
+}
+
+/// Find a QUBO for `shape` under `mode`, escalating ancillas
+/// 0..=`max_ancillas` and trying the symmetric ansatz before the
+/// general one at each level.
+pub fn find_qubo_mode(
+    shape: &ConstraintShape,
+    max_ancillas: u32,
+    mode: GapMode,
+) -> Result<CompiledQubo, CompileError> {
+    if !shape.satisfiable() {
+        return Err(CompileError::Unsatisfiable(format!(
+            "shape {:?} / selection {:?} has no satisfying assignment",
+            shape.multiplicities, shape.selection
+        )));
+    }
+    for a in 0..=max_ancillas {
+        if let Some(c) = search_symmetric(shape, a as usize, mode) {
+            debug_assert!(verify_mode(&c, shape, mode));
+            return Ok(c);
+        }
+        if shape.num_vars() + a as usize <= GENERAL_LIMIT {
+            if let Some(c) = search_general(shape, a as usize, mode) {
+                debug_assert!(verify_mode(&c, shape, mode));
+                return Ok(c);
+            }
+        }
+    }
+    Err(CompileError::NoQuboFound {
+        ancillas_tried: max_ancillas,
+        shape: format!("{:?} / {:?}", shape.multiplicities, shape.selection),
+    })
+}
+
+/// [`find_qubo_mode`] with the hard-constraint gap.
+pub fn find_qubo(shape: &ConstraintShape, max_ancillas: u32) -> Result<CompiledQubo, CompileError> {
+    find_qubo_mode(shape, max_ancillas, GapMode::AtLeastOne)
+}
+
+/// Whether coefficient searches polish their witness to an L1-minimal
+/// table (smaller coefficients → better hardware dynamic range and
+/// tables closer to handcrafted ones). On by default; exposed for the
+/// compile-time benchmarks.
+pub static SOLVE_MINIMIZE: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(true);
+
+/// Solve `problem` over `base_unknowns` coefficients, optionally
+/// appending one auxiliary `t_k ≥ |x_k|` per unknown and minimizing
+/// `Σ t_k` within the found branch.
+fn solve_coefficients(
+    mut problem: DisjunctiveProblem,
+    base_unknowns: usize,
+) -> Option<Vec<Rational>> {
+    if !SOLVE_MINIMIZE.load(std::sync::atomic::Ordering::Relaxed) {
+        return problem.solve();
+    }
+    // The DisjunctiveProblem was created with room for the aux block
+    // (see callers): unknowns [base..2·base) are the t_k.
+    let mut objective = LinExpr::zero();
+    for k in 0..base_unknowns {
+        let t = base_unknowns + k;
+        // t − x ≥ 0 and t + x ≥ 0.
+        let mut ge_pos = LinExpr::var(t);
+        ge_pos.add_term(k, -Rational::one());
+        problem.require(LinConstraint::new(ge_pos, Relation::Ge));
+        let mut ge_neg = LinExpr::var(t);
+        ge_neg.add_term(k, Rational::one());
+        problem.require(LinConstraint::new(ge_neg, Relation::Ge));
+        objective.add_term(t, Rational::one());
+    }
+    problem.solve_minimizing(&objective)
+}
+
+// ---------------------------------------------------------------------
+// Symmetric search
+// ---------------------------------------------------------------------
+
+/// Variable groups: distinct multiplicity values with their member
+/// counts, preserving the local-variable order of `shape`.
+fn groups_of(shape: &ConstraintShape) -> Vec<(u32, usize)> {
+    let mut groups: Vec<(u32, usize)> = Vec::new();
+    for &m in &shape.multiplicities {
+        match groups.iter_mut().find(|(mu, _)| *mu == m) {
+            Some((_, n)) => *n += 1,
+            None => groups.push((m, 1)),
+        }
+    }
+    groups
+}
+
+/// Unknown layout for the symmetric ansatz.
+struct SymmetricLayout {
+    groups: Vec<(u32, usize)>, // (multiplicity, member count)
+    num_anc: usize,
+    num_unknowns: usize,
+}
+
+impl SymmetricLayout {
+    fn new(shape: &ConstraintShape, num_anc: usize) -> Self {
+        let groups = groups_of(shape);
+        let g = groups.len();
+        // offset: 1
+        // alpha_g: g
+        // beta_gg: g        (unused rows are simply never referenced
+        //                    when the group has one member)
+        // beta_gh (g<h): g(g-1)/2
+        // gamma_j: num_anc
+        // delta_gj: g*num_anc
+        // eps_jk (j<k): num_anc(num_anc-1)/2
+        let num_unknowns = 1
+            + g
+            + g
+            + g * g.saturating_sub(1) / 2
+            + num_anc
+            + g * num_anc
+            + num_anc * num_anc.saturating_sub(1) / 2;
+        SymmetricLayout { groups, num_anc, num_unknowns }
+    }
+
+    fn offset(&self) -> usize {
+        0
+    }
+    fn alpha(&self, g: usize) -> usize {
+        1 + g
+    }
+    fn beta_within(&self, g: usize) -> usize {
+        1 + self.groups.len() + g
+    }
+    fn beta_across(&self, g: usize, h: usize) -> usize {
+        debug_assert!(g < h);
+        let n = self.groups.len();
+        // index of (g, h) in the upper-triangle enumeration
+        let base = 1 + 2 * n;
+        base + g * n - g * (g + 1) / 2 + (h - g - 1)
+    }
+    fn gamma(&self, j: usize) -> usize {
+        let n = self.groups.len();
+        1 + 2 * n + n * (n - 1) / 2 + j
+    }
+    fn delta(&self, g: usize, j: usize) -> usize {
+        let n = self.groups.len();
+        1 + 2 * n + n * (n - 1) / 2 + self.num_anc + g * self.num_anc + j
+    }
+    fn eps(&self, j: usize, k: usize) -> usize {
+        debug_assert!(j < k);
+        let n = self.groups.len();
+        let base = 1 + 2 * n + n * (n - 1) / 2 + self.num_anc + n * self.num_anc;
+        base + j * self.num_anc - j * (j + 1) / 2 + (k - j - 1)
+    }
+
+    /// Energy of (count vector, ancilla bits) as a linear expression in
+    /// the unknowns.
+    fn energy_expr(&self, counts: &[usize], anc: u64) -> LinExpr {
+        let mut e = LinExpr::var(self.offset());
+        let rat = |v: usize| Rational::from(v as i64);
+        for (g, &t) in counts.iter().enumerate() {
+            if t > 0 {
+                e.add_term(self.alpha(g), rat(t));
+                if t >= 2 {
+                    e.add_term(self.beta_within(g), rat(t * (t - 1) / 2));
+                }
+            }
+        }
+        for g in 0..counts.len() {
+            for h in g + 1..counts.len() {
+                if counts[g] > 0 && counts[h] > 0 {
+                    e.add_term(self.beta_across(g, h), rat(counts[g] * counts[h]));
+                }
+            }
+        }
+        for j in 0..self.num_anc {
+            if anc >> j & 1 == 1 {
+                e.add_term(self.gamma(j), Rational::one());
+                for (g, &t) in counts.iter().enumerate() {
+                    if t > 0 {
+                        e.add_term(self.delta(g, j), rat(t));
+                    }
+                }
+                for k in j + 1..self.num_anc {
+                    if anc >> k & 1 == 1 {
+                        e.add_term(self.eps(j, k), Rational::one());
+                    }
+                }
+            }
+        }
+        e
+    }
+}
+
+/// Enumerate all count vectors `(t_g ∈ 0..=n_g)`.
+fn count_vectors(groups: &[(u32, usize)]) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for &(_, n) in groups {
+        let mut next = Vec::with_capacity(out.len() * (n + 1));
+        for v in &out {
+            for t in 0..=n {
+                let mut w = v.clone();
+                w.push(t);
+                next.push(w);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn search_symmetric(shape: &ConstraintShape, num_anc: usize, mode: GapMode) -> Option<CompiledQubo> {
+    let layout = SymmetricLayout::new(shape, num_anc);
+    // Twice the unknowns: the upper half is the |·|-bounding aux block
+    // used by the L1 polish (unconstrained unless the polish runs).
+    let mut problem = DisjunctiveProblem::new(2 * layout.num_unknowns);
+    let one = Rational::one();
+    for counts in count_vectors(&layout.groups) {
+        let weighted: u32 = counts
+            .iter()
+            .zip(&layout.groups)
+            .map(|(&t, &(mu, _))| t as u32 * mu)
+            .sum();
+        let satisfying = shape.selection.contains(&weighted);
+        let mut witnesses = Vec::new();
+        for anc in 0..1u64 << num_anc {
+            let e = layout.energy_expr(&counts, anc);
+            if satisfying {
+                // E ≥ 0 always; some ancilla attains E = 0.
+                problem.require(LinConstraint::new(e.clone(), Relation::Ge));
+                witnesses.push(vec![LinConstraint::new(e, Relation::Eq)]);
+            } else {
+                // E − 1 ≥ 0 for every ancilla; under ExactlyOne, some
+                // ancilla must attain E = 1 so the min penalty is flat.
+                let mut em1 = e;
+                em1.add_constant(&(-&one));
+                problem.require(LinConstraint::new(em1.clone(), Relation::Ge));
+                if mode == GapMode::ExactlyOne {
+                    witnesses.push(vec![LinConstraint::new(em1, Relation::Eq)]);
+                }
+            }
+        }
+        if satisfying || (mode == GapMode::ExactlyOne && !witnesses.is_empty()) {
+            problem.require_any(witnesses);
+        }
+    }
+    let witness = solve_coefficients(problem, layout.num_unknowns)?;
+    Some(reconstruct_symmetric(shape, &layout, &witness))
+}
+
+fn reconstruct_symmetric(
+    shape: &ConstraintShape,
+    layout: &SymmetricLayout,
+    w: &[Rational],
+) -> CompiledQubo {
+    let d = shape.num_vars();
+    let n = d + layout.num_anc;
+    let mut q = RationalQubo::new(n);
+    q.add_offset(w[layout.offset()].clone());
+    // Map each local variable to its group index.
+    let group_of: Vec<usize> = shape
+        .multiplicities
+        .iter()
+        .map(|m| layout.groups.iter().position(|(mu, _)| mu == m).unwrap())
+        .collect();
+    for i in 0..d {
+        q.add_linear(i, w[layout.alpha(group_of[i])].clone());
+        for j in i + 1..d {
+            let (gi, gj) = (group_of[i], group_of[j]);
+            let coeff = if gi == gj {
+                w[layout.beta_within(gi)].clone()
+            } else {
+                w[layout.beta_across(gi.min(gj), gi.max(gj))].clone()
+            };
+            q.add_quadratic(i, j, coeff);
+        }
+    }
+    for j in 0..layout.num_anc {
+        q.add_linear(d + j, w[layout.gamma(j)].clone());
+        for i in 0..d {
+            q.add_quadratic(i, d + j, w[layout.delta(group_of[i], j)].clone());
+        }
+        for k in j + 1..layout.num_anc {
+            q.add_quadratic(d + j, d + k, w[layout.eps(j, k)].clone());
+        }
+    }
+    CompiledQubo { qubo: q, num_real: d, num_ancillas: layout.num_anc }
+}
+
+// ---------------------------------------------------------------------
+// General (asymmetric) search
+// ---------------------------------------------------------------------
+
+/// Unknown layout for the general ansatz over `n` local variables:
+/// `[offset, linear 0..n, quadratic pairs (i<j)]`.
+struct GeneralLayout {
+    n: usize,
+}
+
+impl GeneralLayout {
+    fn num_unknowns(&self) -> usize {
+        1 + self.n + self.n * (self.n - 1) / 2
+    }
+    fn offset(&self) -> usize {
+        0
+    }
+    fn linear(&self, i: usize) -> usize {
+        1 + i
+    }
+    fn quad(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j);
+        1 + self.n + i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    fn energy_expr(&self, bits: u64) -> LinExpr {
+        let mut e = LinExpr::var(self.offset());
+        for i in 0..self.n {
+            if bits >> i & 1 == 1 {
+                e.add_term(self.linear(i), Rational::one());
+                for j in i + 1..self.n {
+                    if bits >> j & 1 == 1 {
+                        e.add_term(self.quad(i, j), Rational::one());
+                    }
+                }
+            }
+        }
+        e
+    }
+}
+
+fn search_general(shape: &ConstraintShape, num_anc: usize, mode: GapMode) -> Option<CompiledQubo> {
+    let d = shape.num_vars();
+    let n = d + num_anc;
+    let layout = GeneralLayout { n };
+    let mut problem = DisjunctiveProblem::new(2 * layout.num_unknowns());
+    let one = Rational::one();
+    for var_bits in 0..1u64 << d {
+        let satisfying = shape.satisfied_by(var_bits);
+        let mut witnesses = Vec::new();
+        for anc in 0..1u64 << num_anc {
+            let e = layout.energy_expr(var_bits | anc << d);
+            if satisfying {
+                problem.require(LinConstraint::new(e.clone(), Relation::Ge));
+                witnesses.push(vec![LinConstraint::new(e, Relation::Eq)]);
+            } else {
+                let mut em1 = e;
+                em1.add_constant(&(-&one));
+                problem.require(LinConstraint::new(em1.clone(), Relation::Ge));
+                if mode == GapMode::ExactlyOne {
+                    witnesses.push(vec![LinConstraint::new(em1, Relation::Eq)]);
+                }
+            }
+        }
+        if satisfying || (mode == GapMode::ExactlyOne && !witnesses.is_empty()) {
+            problem.require_any(witnesses);
+        }
+    }
+    let witness = solve_coefficients(problem, layout.num_unknowns())?;
+    let mut q = RationalQubo::new(n);
+    q.add_offset(witness[layout.offset()].clone());
+    for i in 0..n {
+        q.add_linear(i, witness[layout.linear(i)].clone());
+        for j in i + 1..n {
+            q.add_quadratic(i, j, witness[layout.quad(i, j)].clone());
+        }
+    }
+    Some(CompiledQubo { qubo: q, num_real: d, num_ancillas: num_anc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(mults: &[u32], sel: &[u32]) -> ConstraintShape {
+        ConstraintShape {
+            multiplicities: mults.to_vec(),
+            selection: sel.iter().copied().collect(),
+        }
+    }
+
+    fn compile_ok(mults: &[u32], sel: &[u32]) -> CompiledQubo {
+        let s = shape(mults, sel);
+        let c = find_qubo(&s, MAX_ANCILLAS).expect("compilable");
+        assert!(verify(&c, &s), "verification failed for {s:?}: {:?}", c.qubo);
+        c
+    }
+
+    #[test]
+    fn exactly_one_of_two() {
+        // nck({a,b},{1}) — XOR-like; classic QUBO (a+b-1)^2 exists.
+        let c = compile_ok(&[1, 1], &[1]);
+        assert_eq!(c.num_ancillas, 0);
+    }
+
+    #[test]
+    fn at_least_one_of_two() {
+        // nck({a,b},{1,2}) — the vertex-cover edge constraint (§V).
+        let c = compile_ok(&[1, 1], &[1, 2]);
+        assert_eq!(c.num_ancillas, 0);
+        // Ground-normalized version of ab − a − b: penalty 1 at 00.
+        assert_eq!(c.penalty(0b00), Rational::one());
+        assert_eq!(c.penalty(0b01), Rational::zero());
+        assert_eq!(c.penalty(0b11), Rational::zero());
+    }
+
+    #[test]
+    fn xor_of_three_needs_no_ancilla() {
+        // nck({a,b,c},{0,2}) — the paper's XOR example a⊕b = c is
+        // nck({a,b,c},{0,2}), which *does* need an ancilla (§VI-C).
+        let s = shape(&[1, 1, 1], &[0, 2]);
+        let c = find_qubo(&s, MAX_ANCILLAS).unwrap();
+        assert!(verify(&c, &s));
+        assert_eq!(c.num_ancillas, 1, "XOR requires exactly one ancilla");
+    }
+
+    #[test]
+    fn one_or_three_of_three_needs_ancilla() {
+        // nck({a,b,c},{1,3}) — §VI-B Discussion: cannot be a
+        // three-variable QUBO, requires a fourth ancillary variable.
+        let s = shape(&[1, 1, 1], &[1, 3]);
+        let c = find_qubo(&s, MAX_ANCILLAS).unwrap();
+        assert!(verify(&c, &s));
+        assert_eq!(c.num_ancillas, 1);
+    }
+
+    #[test]
+    fn exactly_k_closed_family() {
+        for n in 1..=4usize {
+            for k in 0..=n as u32 {
+                let mults = vec![1; n];
+                let sel = [k];
+                let c = compile_ok(&mults, &sel);
+                assert_eq!(c.num_ancillas, 0, "nck(n={n}, {{{k}}}) should need no ancilla");
+            }
+        }
+    }
+
+    #[test]
+    fn full_range_selection_trivial() {
+        // Selection {0,1,2} over 2 vars is always satisfied.
+        let c = compile_ok(&[1, 1], &[0, 1, 2]);
+        for bits in 0..4 {
+            assert!(c.penalty(bits).is_zero());
+        }
+    }
+
+    #[test]
+    fn repeated_variable_shape() {
+        // {a, a}: achievable counts 0 and 2. Selection {0,2} is always
+        // satisfied; {2} forces a TRUE.
+        let c = compile_ok(&[2], &[0, 2]);
+        assert!(c.penalty(0).is_zero());
+        assert!(c.penalty(1).is_zero());
+        let c = compile_ok(&[2], &[2]);
+        assert!(c.penalty(0) >= Rational::one());
+        assert!(c.penalty(1).is_zero());
+    }
+
+    #[test]
+    fn unsatisfiable_shape_is_error() {
+        // {a, a} with selection {1}: count 1 unachievable.
+        let s = shape(&[2], &[1]);
+        match find_qubo(&s, MAX_ANCILLAS) {
+            Err(CompileError::Unsatisfiable(_)) => {}
+            other => panic!("expected Unsatisfiable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn three_sat_clause_shape() {
+        // 3-SAT positive clause (x ∨ y ∨ z): nck({x,y,z},{1,2,3}).
+        let c = compile_ok(&[1, 1, 1], &[1, 2, 3]);
+        assert!(c.penalty(0b000) >= Rational::one());
+        for bits in 1..8 {
+            assert!(c.penalty(bits).is_zero());
+        }
+    }
+
+    #[test]
+    fn sat_clause_with_doubled_variable() {
+        // The paper's repeated-variable SAT encoding:
+        // nck({x,y,z,z},{0,1,2,4}) for clause (x ∨ y ∨ ¬z).
+        let s = shape(&[1, 1, 2], &[0, 1, 2, 4]);
+        let c = find_qubo(&s, MAX_ANCILLAS).unwrap();
+        assert!(verify(&c, &s));
+        // violating: z TRUE, x or y adding to count 3
+        assert!(c.penalty(0b101) >= Rational::one()); // x,z → count 3
+        assert!(c.penalty(0b100).is_zero()); // z alone → count 2 OK
+    }
+
+    #[test]
+    fn max_penalty_of_soft_minimizer() {
+        // nck({v},{0}) — the soft "prefer FALSE" constraint. Max
+        // penalty over assignments should be exactly the v=1 penalty.
+        let c = compile_ok(&[1], &[0]);
+        assert_eq!(c.max_penalty(), c.penalty(1));
+        assert!(c.max_penalty() >= Rational::one());
+    }
+
+    #[test]
+    fn l1_polish_small_coefficients_and_knob() {
+        // Combined in one test because SOLVE_MINIMIZE is process-global
+        // and tests run concurrently.
+        use std::sync::atomic::Ordering;
+        // The XOR table's known hand-derived coefficient profile has
+        // magnitudes {1, 2, 4}; the L1 polish must not exceed that
+        // scale (an unpolished witness can be much larger).
+        let s = shape(&[1, 1, 1], &[0, 2]);
+        let c = find_qubo(&s, MAX_ANCILLAS).unwrap();
+        let max = c.qubo.to_f64().max_abs_coeff();
+        assert!(max <= 4.0 + 1e-9, "polished XOR coefficient {max} too large");
+        // With the knob off, the table must still verify.
+        SOLVE_MINIMIZE.store(false, Ordering::SeqCst);
+        let c = find_qubo(&s, MAX_ANCILLAS).unwrap();
+        SOLVE_MINIMIZE.store(true, Ordering::SeqCst);
+        assert!(verify(&c, &s), "unpolished table must still verify");
+    }
+
+    #[test]
+    fn count_vectors_enumeration() {
+        let cvs = count_vectors(&[(1, 2), (2, 1)]);
+        assert_eq!(cvs.len(), 6); // (0..=2) × (0..=1)
+        assert!(cvs.contains(&vec![2, 1]));
+        assert!(cvs.contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn shape_satisfied_by_weighted_count() {
+        let s = shape(&[1, 2], &[2]);
+        assert!(!s.satisfied_by(0b00)); // count 0
+        assert!(!s.satisfied_by(0b01)); // count 1
+        assert!(s.satisfied_by(0b10)); // count 2 (the doubled var)
+        assert!(!s.satisfied_by(0b11)); // count 3
+    }
+}

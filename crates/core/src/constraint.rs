@@ -1,0 +1,286 @@
+//! NchooseK constraints (Definitions 1–5 of the paper).
+
+use crate::error::NckError;
+use crate::var::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Whether a constraint must hold or is merely preferred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Hardness {
+    /// The constraint must be satisfied (Definition 3).
+    Hard,
+    /// The constraint is desired but not required (Definition 5);
+    /// executions maximize the number of satisfied soft constraints.
+    Soft,
+}
+
+/// An NchooseK constraint `nck(N, K)`: of the variable collection `N`
+/// (repetition allowed, order irrelevant — Definition 1), the number of
+/// TRUE members must be an element of the selection set `K`
+/// (Definition 2).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    collection: Vec<Var>,
+    selection: BTreeSet<u32>,
+    hardness: Hardness,
+    /// Importance of a soft constraint (always 1 for hard ones): the
+    /// executor maximizes the total *weight* of satisfied soft
+    /// constraints. The paper notes the soft scaling factor "could be
+    /// chosen differently, e.g., by multiplying by a common positive,
+    /// real-valued factor" (§V); integer weights keep the compiler's
+    /// exact-arithmetic guarantees.
+    weight: u32,
+}
+
+impl Constraint {
+    /// Build a constraint, validating Definition 2: every selection
+    /// value must be at most the collection cardinality, the collection
+    /// must be non-empty, and the selection set non-empty.
+    pub fn new(
+        collection: impl Into<Vec<Var>>,
+        selection: impl IntoIterator<Item = u32>,
+        hardness: Hardness,
+    ) -> Result<Self, NckError> {
+        Self::with_weight(collection, selection, hardness, 1)
+    }
+
+    /// [`Constraint::new`] with an explicit soft weight (≥ 1). Hard
+    /// constraints ignore the weight (it is normalized to 1).
+    pub fn with_weight(
+        collection: impl Into<Vec<Var>>,
+        selection: impl IntoIterator<Item = u32>,
+        hardness: Hardness,
+        weight: u32,
+    ) -> Result<Self, NckError> {
+        assert!(weight >= 1, "constraint weight must be at least 1");
+        let mut collection: Vec<Var> = collection.into();
+        if collection.is_empty() {
+            return Err(NckError::EmptyCollection);
+        }
+        // Order does not matter (Definition 1); canonicalize so equal
+        // constraints compare and hash equal.
+        collection.sort_unstable();
+        let selection: BTreeSet<u32> = selection.into_iter().collect();
+        if selection.is_empty() {
+            return Err(NckError::EmptySelection);
+        }
+        let cardinality = collection.len() as u32;
+        if let Some(&max) = selection.iter().next_back() {
+            if max > cardinality {
+                return Err(NckError::SelectionOutOfRange { value: max, cardinality });
+            }
+        }
+        let weight = if hardness == Hardness::Hard { 1 } else { weight };
+        Ok(Constraint { collection, selection, hardness, weight })
+    }
+
+    /// Soft weight (1 for hard constraints and default soft ones).
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// The variable collection, sorted (repetitions preserved).
+    pub fn collection(&self) -> &[Var] {
+        &self.collection
+    }
+
+    /// The selection set.
+    pub fn selection(&self) -> &BTreeSet<u32> {
+        &self.selection
+    }
+
+    /// Hard or soft.
+    pub fn hardness(&self) -> Hardness {
+        self.hardness
+    }
+
+    /// True iff this is a hard constraint.
+    pub fn is_hard(&self) -> bool {
+        self.hardness == Hardness::Hard
+    }
+
+    /// Cardinality of the variable collection (counting repetitions).
+    pub fn cardinality(&self) -> u32 {
+        self.collection.len() as u32
+    }
+
+    /// Distinct variables with their multiplicities, in variable order.
+    pub fn multiplicities(&self) -> Vec<(Var, u32)> {
+        let mut out: Vec<(Var, u32)> = Vec::new();
+        for &v in &self.collection {
+            match out.last_mut() {
+                Some((last, m)) if *last == v => *m += 1,
+                _ => out.push((v, 1)),
+            }
+        }
+        out
+    }
+
+    /// Distinct variables in the collection, in order.
+    pub fn distinct_vars(&self) -> Vec<Var> {
+        self.multiplicities().into_iter().map(|(v, _)| v).collect()
+    }
+
+    /// True iff the constraint holds under `assignment` (indexed by
+    /// variable id): the multiplicity-weighted count of TRUE variables
+    /// is in the selection set.
+    pub fn is_satisfied(&self, assignment: &[bool]) -> bool {
+        let count: u32 = self
+            .collection
+            .iter()
+            .map(|v| u32::from(assignment[v.index()]))
+            .sum();
+        self.selection.contains(&count)
+    }
+
+    /// The achievable TRUE-counts given that repeated variables always
+    /// contribute their full multiplicity or nothing. A selection value
+    /// that no sub-multiset of multiplicities can sum to is dead weight
+    /// (the constraint can never be satisfied *through* it).
+    pub fn achievable_counts(&self) -> BTreeSet<u32> {
+        let mults = self.multiplicities();
+        let mut sums: BTreeSet<u32> = BTreeSet::new();
+        sums.insert(0);
+        for (_, m) in mults {
+            let prev: Vec<u32> = sums.iter().copied().collect();
+            for s in prev {
+                sums.insert(s + m);
+            }
+        }
+        sums
+    }
+
+    /// True iff *some* assignment satisfies this constraint in
+    /// isolation.
+    pub fn is_satisfiable_alone(&self) -> bool {
+        self.achievable_counts()
+            .intersection(&self.selection)
+            .next()
+            .is_some()
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nck({{")?;
+        for (i, v) in self.collection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}, {{")?;
+        for (i, k) in self.selection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "}}")?;
+        if self.hardness == Hardness::Soft {
+            if self.weight == 1 {
+                write!(f, ", soft")?;
+            } else {
+                write!(f, ", soft*{}", self.weight)?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn validates_selection_range() {
+        let err = Constraint::new(vec![v(0), v(1)], [3], Hardness::Hard).unwrap_err();
+        assert_eq!(err, NckError::SelectionOutOfRange { value: 3, cardinality: 2 });
+        assert!(Constraint::new(vec![v(0), v(1)], [2], Hardness::Hard).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_collection_and_selection() {
+        assert_eq!(
+            Constraint::new(Vec::<Var>::new(), [0], Hardness::Hard).unwrap_err(),
+            NckError::EmptyCollection
+        );
+        assert_eq!(
+            Constraint::new(vec![v(0)], [], Hardness::Hard).unwrap_err(),
+            NckError::EmptySelection
+        );
+    }
+
+    #[test]
+    fn collection_order_is_canonical() {
+        let a = Constraint::new(vec![v(2), v(0)], [1], Hardness::Hard).unwrap();
+        let b = Constraint::new(vec![v(0), v(2)], [1], Hardness::Hard).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn satisfaction_counts_multiplicity() {
+        // nck({x, y, z, z}, {0, 1, 2, 4, 5}) — the paper's encoding of
+        // the 3-SAT clause (x ∨ y ∨ ¬z) via a doubled variable... here
+        // just check counting: z twice.
+        let c =
+            Constraint::new(vec![v(0), v(1), v(2), v(2)], [0, 1, 2, 4], Hardness::Hard).unwrap();
+        assert!(c.is_satisfied(&[false, false, false])); // count 0
+        assert!(c.is_satisfied(&[true, false, false])); // count 1
+        assert!(c.is_satisfied(&[false, false, true])); // count 2
+        assert!(!c.is_satisfied(&[true, false, true])); // count 3
+        assert!(c.is_satisfied(&[true, true, true])); // count 4
+    }
+
+    #[test]
+    fn multiplicities_grouped() {
+        let c = Constraint::new(vec![v(3), v(1), v(3), v(3)], [1], Hardness::Hard).unwrap();
+        assert_eq!(c.multiplicities(), vec![(v(1), 1), (v(3), 3)]);
+        assert_eq!(c.distinct_vars(), vec![v(1), v(3)]);
+        assert_eq!(c.cardinality(), 4);
+    }
+
+    #[test]
+    fn achievable_counts_respect_multiplicity() {
+        // {a, a, b}: achievable TRUE-counts are 0, 1 (b), 2 (a), 3 (a+b)
+        let c = Constraint::new(vec![v(0), v(0), v(1)], [1], Hardness::Hard).unwrap();
+        let counts: Vec<u32> = c.achievable_counts().into_iter().collect();
+        assert_eq!(counts, vec![0, 1, 2, 3]);
+        // {a, a}: only 0 and 2 achievable; selection {1} unsatisfiable
+        let c2 = Constraint::new(vec![v(0), v(0)], [1], Hardness::Hard).unwrap();
+        assert!(!c2.is_satisfiable_alone());
+        let c3 = Constraint::new(vec![v(0), v(0)], [0, 2], Hardness::Hard).unwrap();
+        assert!(c3.is_satisfiable_alone());
+    }
+
+    #[test]
+    fn weights_default_and_explicit() {
+        let c = Constraint::new(vec![v(0)], [0], Hardness::Soft).unwrap();
+        assert_eq!(c.weight(), 1);
+        let w = Constraint::with_weight(vec![v(0)], [0], Hardness::Soft, 5).unwrap();
+        assert_eq!(w.weight(), 5);
+        assert_eq!(w.to_string(), "nck({v0}, {0}, soft*5)");
+        // Hard constraints normalize the weight away.
+        let h = Constraint::with_weight(vec![v(0)], [1], Hardness::Hard, 9).unwrap();
+        assert_eq!(h.weight(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_weight_rejected() {
+        let _ = Constraint::with_weight(vec![v(0)], [0], Hardness::Soft, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Constraint::new(vec![v(0), v(1)], [0, 1], Hardness::Hard).unwrap();
+        assert_eq!(c.to_string(), "nck({v0, v1}, {0, 1})");
+        let s = Constraint::new(vec![v(2)], [0], Hardness::Soft).unwrap();
+        assert_eq!(s.to_string(), "nck({v2}, {0}, soft)");
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for NchooseK program construction.
+
+use std::fmt;
+
+/// Errors raised while building or validating an NchooseK program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NckError {
+    /// A constraint's variable collection was empty.
+    EmptyCollection,
+    /// A selection-set element exceeded the collection cardinality
+    /// (violates Definition 2 of the paper).
+    SelectionOutOfRange {
+        /// The offending selection value.
+        value: u32,
+        /// Cardinality of the variable collection.
+        cardinality: u32,
+    },
+    /// The selection set was empty, making the constraint unsatisfiable
+    /// by construction.
+    EmptySelection,
+    /// A constraint referenced a variable not registered in the
+    /// program's environment.
+    UnknownVariable(u32),
+    /// A variable name was registered twice.
+    DuplicateName(String),
+}
+
+impl fmt::Display for NckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NckError::EmptyCollection => {
+                write!(f, "constraint has an empty variable collection")
+            }
+            NckError::SelectionOutOfRange { value, cardinality } => write!(
+                f,
+                "selection value {value} exceeds collection cardinality {cardinality}"
+            ),
+            NckError::EmptySelection => {
+                write!(f, "constraint has an empty selection set (unsatisfiable)")
+            }
+            NckError::UnknownVariable(v) => {
+                write!(f, "variable v{v} is not registered in this environment")
+            }
+            NckError::DuplicateName(name) => {
+                write!(f, "variable name {name:?} registered twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NckError::SelectionOutOfRange { value: 3, cardinality: 2 }.to_string(),
+            "selection value 3 exceeds collection cardinality 2"
+        );
+        assert!(NckError::EmptyCollection.to_string().contains("empty variable collection"));
+        assert!(NckError::UnknownVariable(7).to_string().contains("v7"));
+    }
+}

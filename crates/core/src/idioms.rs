@@ -1,0 +1,168 @@
+//! Convenience constraint idioms.
+//!
+//! Every NchooseK constraint is ultimately `nck(N, K)`, but common
+//! Boolean relationships have canonical selection sets that are easy
+//! to get subtly wrong by hand (the paper's §II walks through several).
+//! These helpers construct them.
+
+use crate::error::NckError;
+use crate::program::Program;
+use crate::var::Var;
+
+impl Program {
+    /// Exactly `k` of `vars` must be TRUE: `nck(vars, {k})`.
+    pub fn exactly_k(&mut self, vars: impl Into<Vec<Var>>, k: u32) -> Result<(), NckError> {
+        self.nck(vars, [k])
+    }
+
+    /// At most `k` of `vars` TRUE: `nck(vars, {0..=k})`.
+    pub fn at_most_k(&mut self, vars: impl Into<Vec<Var>>, k: u32) -> Result<(), NckError> {
+        self.nck(vars, 0..=k)
+    }
+
+    /// At least `k` of `vars` TRUE: `nck(vars, {k..=n})`.
+    pub fn at_least_k(&mut self, vars: impl Into<Vec<Var>>, k: u32) -> Result<(), NckError> {
+        let vars: Vec<Var> = vars.into();
+        let n = vars.len() as u32;
+        self.nck(vars, k..=n)
+    }
+
+    /// All of `vars` equal (all TRUE or all FALSE): `nck(vars, {0, n})`.
+    pub fn all_equal(&mut self, vars: impl Into<Vec<Var>>) -> Result<(), NckError> {
+        let vars: Vec<Var> = vars.into();
+        let n = vars.len() as u32;
+        self.nck(vars, [0, n])
+    }
+
+    /// Force a variable's value: `nck({v}, {value})`.
+    pub fn assign(&mut self, v: Var, value: bool) -> Result<(), NckError> {
+        self.nck(vec![v], [u32::from(value)])
+    }
+
+    /// `a ≠ b` (exactly one TRUE): `nck({a, b}, {1})`.
+    pub fn differ(&mut self, a: Var, b: Var) -> Result<(), NckError> {
+        self.nck(vec![a, b], [1])
+    }
+
+    /// `a → b`: forbidden only when `a` is TRUE and `b` FALSE. Encoded
+    /// as `nck({a, b, b}, {0, 2, 3})` — the doubled `b` separates the
+    /// forbidden count (1) from the allowed ones (`a` alone would also
+    /// count 1 otherwise).
+    pub fn implies(&mut self, a: Var, b: Var) -> Result<(), NckError> {
+        self.nck(vec![a, b, b], [0, 2, 3])
+    }
+
+    /// `c = a XOR b`: `nck({a, b, c}, {0, 2})` — the paper's §VI-C
+    /// example, readable straight off the truth table.
+    pub fn xor_equals(&mut self, a: Var, b: Var, c: Var) -> Result<(), NckError> {
+        self.nck(vec![a, b, c], [0, 2])
+    }
+
+    /// `c = a AND b`: forbidden rows of the truth table are excluded by
+    /// weighting `c` triple: counts are `a + b + 3c`; allowed rows
+    /// {00→0, 01→1, 10→1, 11→5} and forbidden {00·c, 01·c, 10·c → 3,4;
+    /// 11·¬c → 2}, so `nck({a, b, c, c, c}, {0, 1, 5})`.
+    pub fn and_equals(&mut self, a: Var, b: Var, c: Var) -> Result<(), NckError> {
+        self.nck(vec![a, b, c, c, c], [0, 1, 5])
+    }
+
+    /// `c = a OR b`: with the same weighting, allowed rows are
+    /// {00→0, 01→4, 10→4, 11→5}: `nck({a, b, c, c, c}, {0, 4, 5})`.
+    pub fn or_equals(&mut self, a: Var, b: Var, c: Var) -> Result<(), NckError> {
+        self.nck(vec![a, b, c, c, c], [0, 4, 5])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Enumerate the satisfying assignments of a program.
+    fn solutions(p: &Program) -> Vec<u64> {
+        let n = p.num_vars();
+        (0..1u64 << n)
+            .filter(|&bits| {
+                let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                p.all_hard_satisfied(&x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cardinality_idioms() {
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 3).unwrap();
+        p.at_most_k(vs.clone(), 1).unwrap();
+        assert_eq!(solutions(&p), vec![0b000, 0b001, 0b010, 0b100]);
+
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 3).unwrap();
+        p.at_least_k(vs.clone(), 2).unwrap();
+        assert_eq!(solutions(&p), vec![0b011, 0b101, 0b110, 0b111]);
+
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 3).unwrap();
+        p.exactly_k(vs, 3).unwrap();
+        assert_eq!(solutions(&p), vec![0b111]);
+    }
+
+    #[test]
+    fn equality_and_difference() {
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 3).unwrap();
+        p.all_equal(vs.clone()).unwrap();
+        assert_eq!(solutions(&p), vec![0b000, 0b111]);
+
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        let b = p.new_var("b").unwrap();
+        p.differ(a, b).unwrap();
+        assert_eq!(solutions(&p), vec![0b01, 0b10]);
+    }
+
+    #[test]
+    fn assign_pins_values() {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        let b = p.new_var("b").unwrap();
+        p.assign(a, true).unwrap();
+        p.assign(b, false).unwrap();
+        assert_eq!(solutions(&p), vec![0b01]);
+    }
+
+    #[test]
+    fn implication_truth_table() {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        let b = p.new_var("b").unwrap();
+        p.implies(a, b).unwrap();
+        // Allowed: 00, 01 (b only), 11. Forbidden: a=1, b=0.
+        assert_eq!(solutions(&p), vec![0b00, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn gate_equalities_match_truth_tables() {
+        for (op, f) in [
+            ("xor", (|a, b| a ^ b) as fn(bool, bool) -> bool),
+            ("and", |a, b| a & b),
+            ("or", |a, b| a | b),
+        ] {
+            let mut p = Program::new();
+            let a = p.new_var("a").unwrap();
+            let b = p.new_var("b").unwrap();
+            let c = p.new_var("c").unwrap();
+            match op {
+                "xor" => p.xor_equals(a, b, c).unwrap(),
+                "and" => p.and_equals(a, b, c).unwrap(),
+                _ => p.or_equals(a, b, c).unwrap(),
+            }
+            let expect: Vec<u64> = (0..8u64)
+                .filter(|&bits| {
+                    let (va, vb, vc) = (bits & 1 == 1, bits >> 1 & 1 == 1, bits >> 2 & 1 == 1);
+                    vc == f(va, vb)
+                })
+                .collect();
+            assert_eq!(solutions(&p), expect, "{op} gate truth table");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # nck-core
+//!
+//! The NchooseK constraint-satisfaction DSL, generalized with soft
+//! constraints as in the SC22 paper *"Combining Hard and Soft
+//! Constraints in Quantum Constraint-Satisfaction Systems"*.
+//!
+//! An NchooseK constraint `nck(N, K)` holds iff the number of TRUE
+//! variables in the collection `N` (repetitions allowed) is an element
+//! of the selection set `K`. A program is a conjunction of hard
+//! constraints (must hold) and soft constraints (as many as possible
+//! must hold).
+//!
+//! ```
+//! use nck_core::{Program, SolutionQuality};
+//!
+//! // The paper's intro example: nck({a,b},{0,1}) ∧ nck({b,c},{1})
+//! let mut p = Program::new();
+//! let a = p.new_var("a").unwrap();
+//! let b = p.new_var("b").unwrap();
+//! let c = p.new_var("c").unwrap();
+//! p.nck(vec![a, b], [0, 1]).unwrap();
+//! p.nck(vec![b, c], [1]).unwrap();
+//!
+//! assert!(p.all_hard_satisfied(&[false, true, false]));
+//! assert!(!p.all_hard_satisfied(&[true, true, false]));
+//! ```
+//!
+//! This crate is backend-agnostic: compilation to QUBO lives in
+//! `nck-compile`, classical solving in `nck-classical`, and the quantum
+//! backends in `nck-anneal` / `nck-circuit`.
+
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod error;
+pub mod idioms;
+pub mod program;
+pub mod solution;
+pub mod symmetry;
+pub mod var;
+
+pub use constraint::{Constraint, Hardness};
+pub use error::NckError;
+pub use program::Program;
+pub use solution::{Evaluation, SolutionQuality};
+pub use symmetry::{count_nonsymmetric, CompileKey, SymmetryKey};
+pub use var::Var;

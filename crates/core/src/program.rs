@@ -1,0 +1,319 @@
+//! NchooseK programs (Definitions 4 and 6 of the paper).
+
+use crate::constraint::{Constraint, Hardness};
+use crate::error::NckError;
+use crate::solution::Evaluation;
+use crate::symmetry::count_nonsymmetric;
+use crate::var::Var;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A generalized NchooseK program: a variable environment plus a
+/// conjunction of hard and soft constraints (Definition 6). Executing a
+/// program means finding an assignment that honors all hard constraints
+/// while maximizing the number of satisfied soft constraints.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    names: Vec<String>,
+    name_index: HashMap<String, Var>,
+    constraints: Vec<Constraint>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Register a fresh named variable.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Result<Var, NckError> {
+        let name = name.into();
+        if self.name_index.contains_key(&name) {
+            return Err(NckError::DuplicateName(name));
+        }
+        let v = Var::new(self.names.len() as u32);
+        self.name_index.insert(name.clone(), v);
+        self.names.push(name);
+        Ok(v)
+    }
+
+    /// Register `n` fresh variables named `prefix0 … prefix(n−1)`.
+    pub fn new_vars(&mut self, prefix: &str, n: usize) -> Result<Vec<Var>, NckError> {
+        (0..n).map(|i| self.new_var(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Look up a variable by name.
+    pub fn var(&self, name: &str) -> Option<Var> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The name of a variable.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of registered variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    fn add(
+        &mut self,
+        collection: impl Into<Vec<Var>>,
+        selection: impl IntoIterator<Item = u32>,
+        hardness: Hardness,
+    ) -> Result<(), NckError> {
+        let c = Constraint::new(collection, selection, hardness)?;
+        for v in c.collection() {
+            if v.index() >= self.names.len() {
+                return Err(NckError::UnknownVariable(v.id()));
+            }
+        }
+        self.constraints.push(c);
+        Ok(())
+    }
+
+    /// Add a hard constraint `nck(collection, selection)`.
+    pub fn nck(
+        &mut self,
+        collection: impl Into<Vec<Var>>,
+        selection: impl IntoIterator<Item = u32>,
+    ) -> Result<(), NckError> {
+        self.add(collection, selection, Hardness::Hard)
+    }
+
+    /// Add a soft constraint `nck(collection, selection, soft)`.
+    pub fn nck_soft(
+        &mut self,
+        collection: impl Into<Vec<Var>>,
+        selection: impl IntoIterator<Item = u32>,
+    ) -> Result<(), NckError> {
+        self.add(collection, selection, Hardness::Soft)
+    }
+
+    /// Add a soft constraint with an integer importance weight ≥ 1:
+    /// executions maximize the total weight of satisfied soft
+    /// constraints (a weight-w constraint counts like w unit ones).
+    pub fn nck_soft_weighted(
+        &mut self,
+        collection: impl Into<Vec<Var>>,
+        selection: impl IntoIterator<Item = u32>,
+        weight: u32,
+    ) -> Result<(), NckError> {
+        let c = Constraint::with_weight(collection, selection, Hardness::Soft, weight)?;
+        for v in c.collection() {
+            if v.index() >= self.names.len() {
+                return Err(NckError::UnknownVariable(v.id()));
+            }
+        }
+        self.constraints.push(c);
+        Ok(())
+    }
+
+    /// Total weight of all soft constraints.
+    pub fn total_soft_weight(&self) -> u64 {
+        self.soft_constraints().map(|c| c.weight() as u64).sum()
+    }
+
+    /// All constraints, in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The hard constraints.
+    pub fn hard_constraints(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter().filter(|c| c.is_hard())
+    }
+
+    /// The soft constraints.
+    pub fn soft_constraints(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter().filter(|c| !c.is_hard())
+    }
+
+    /// Number of hard constraints.
+    pub fn num_hard(&self) -> usize {
+        self.hard_constraints().count()
+    }
+
+    /// Number of soft constraints.
+    pub fn num_soft(&self) -> usize {
+        self.soft_constraints().count()
+    }
+
+    /// Number of mutually non-symmetric constraints (Definition 7;
+    /// Table I column 3).
+    pub fn num_nonsymmetric(&self) -> usize {
+        count_nonsymmetric(&self.constraints)
+    }
+
+    /// Count satisfied hard and soft constraints under `assignment`
+    /// (indexed by variable id; must cover all variables).
+    pub fn evaluate(&self, assignment: &[bool]) -> Evaluation {
+        assert!(
+            assignment.len() >= self.num_vars(),
+            "assignment covers {} of {} variables",
+            assignment.len(),
+            self.num_vars()
+        );
+        let mut ev = Evaluation {
+            hard_satisfied: 0,
+            hard_total: 0,
+            soft_satisfied: 0,
+            soft_total: 0,
+            soft_weight_satisfied: 0,
+            soft_weight_total: 0,
+        };
+        for c in &self.constraints {
+            let sat = c.is_satisfied(assignment);
+            if c.is_hard() {
+                ev.hard_total += 1;
+                ev.hard_satisfied += usize::from(sat);
+            } else {
+                ev.soft_total += 1;
+                ev.soft_satisfied += usize::from(sat);
+                ev.soft_weight_total += c.weight() as u64;
+                if sat {
+                    ev.soft_weight_satisfied += c.weight() as u64;
+                }
+            }
+        }
+        ev
+    }
+
+    /// True iff every hard constraint holds under `assignment`.
+    pub fn all_hard_satisfied(&self, assignment: &[bool]) -> bool {
+        self.hard_constraints().all(|c| c.is_satisfied(assignment))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        if self.constraints.is_empty() {
+            write!(f, "⊤")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's introductory example:
+    /// nck({a,b},{0,1}) ∧ nck({b,c},{1}).
+    fn intro_program() -> (Program, Var, Var, Var) {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        let b = p.new_var("b").unwrap();
+        let c = p.new_var("c").unwrap();
+        p.nck(vec![a, b], [0, 1]).unwrap();
+        p.nck(vec![b, c], [1]).unwrap();
+        (p, a, b, c)
+    }
+
+    #[test]
+    fn intro_example_semantics() {
+        let (p, _, _, _) = intro_program();
+        // "Neither or exactly one of a and b TRUE, and exactly one of
+        // b and c TRUE."
+        let sat = |a, b, c| p.all_hard_satisfied(&[a, b, c]);
+        assert!(sat(false, false, true));
+        assert!(sat(true, false, true));
+        assert!(sat(false, true, false));
+        assert!(!sat(true, true, false)); // a and b both TRUE violates first
+        assert!(!sat(false, false, false)); // b=c=0 violates second
+        assert!(!sat(false, true, true)); // b=c=1 violates second
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut p = Program::new();
+        p.new_var("x").unwrap();
+        assert_eq!(
+            p.new_var("x").unwrap_err(),
+            NckError::DuplicateName("x".to_string())
+        );
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let mut p = Program::new();
+        let _a = p.new_var("a").unwrap();
+        let ghost = Var::new(7);
+        assert_eq!(
+            p.nck(vec![ghost], [1]).unwrap_err(),
+            NckError::UnknownVariable(7)
+        );
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (p, a, b, _) = intro_program();
+        assert_eq!(p.var("a"), Some(a));
+        assert_eq!(p.var("b"), Some(b));
+        assert_eq!(p.var("zzz"), None);
+        assert_eq!(p.name(a), "a");
+    }
+
+    #[test]
+    fn new_vars_bulk() {
+        let mut p = Program::new();
+        let vs = p.new_vars("q", 3).unwrap();
+        assert_eq!(vs.len(), 3);
+        assert_eq!(p.name(vs[2]), "q2");
+        assert_eq!(p.num_vars(), 3);
+    }
+
+    #[test]
+    fn min_vertex_cover_program_counts() {
+        // The running example from §IV: 5 vertices, 5 edges.
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 5).unwrap();
+        for (u, w) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)] {
+            p.nck(vec![vs[u], vs[w]], [1, 2]).unwrap();
+        }
+        for &v in &vs {
+            p.nck_soft(vec![v], [0]).unwrap();
+        }
+        assert_eq!(p.num_hard(), 5);
+        assert_eq!(p.num_soft(), 5);
+        assert_eq!(p.num_nonsymmetric(), 2);
+        // {b, c, d} is a minimum vertex cover of this graph (the
+        // triangle a-b-c needs two vertices, edge d-e needs one more):
+        // all hard constraints hold and 2 of 5 soft constraints do.
+        let x = [false, true, true, true, false];
+        let ev = p.evaluate(&x);
+        assert_eq!(ev.hard_satisfied, 5);
+        assert_eq!(ev.soft_satisfied, 2);
+        // A full cover satisfies all hard but 0 soft.
+        let full = [true; 5];
+        let ev = p.evaluate(&full);
+        assert_eq!(ev.hard_satisfied, 5);
+        assert_eq!(ev.soft_satisfied, 0);
+    }
+
+    #[test]
+    fn evaluate_separates_hard_and_soft() {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        p.nck(vec![a], [1]).unwrap();
+        p.nck_soft(vec![a], [0]).unwrap();
+        let ev = p.evaluate(&[true]);
+        assert_eq!((ev.hard_satisfied, ev.soft_satisfied), (1, 0));
+        let ev = p.evaluate(&[false]);
+        assert_eq!((ev.hard_satisfied, ev.soft_satisfied), (0, 1));
+    }
+
+    #[test]
+    fn display_conjunction() {
+        let (p, _, _, _) = intro_program();
+        assert_eq!(p.to_string(), "nck({v0, v1}, {0, 1}) ∧ nck({v1, v2}, {1})");
+        assert_eq!(Program::new().to_string(), "⊤");
+    }
+}

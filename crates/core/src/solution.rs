@@ -1,0 +1,106 @@
+//! Solution quality classification (Definition 8 of the paper).
+
+use std::fmt;
+
+/// Quality of a returned assignment relative to an NchooseK program
+/// (Definition 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SolutionQuality {
+    /// Fewer than all hard constraints are satisfied.
+    Incorrect,
+    /// All hard constraints, but fewer than the maximum possible soft
+    /// constraints, are satisfied.
+    Suboptimal,
+    /// All hard constraints and the maximum possible number of soft
+    /// constraints are satisfied.
+    Optimal,
+}
+
+impl SolutionQuality {
+    /// True for [`Optimal`](SolutionQuality::Optimal) and
+    /// [`Suboptimal`](SolutionQuality::Suboptimal) — the paper's
+    /// "correct" umbrella (all hard constraints honored).
+    pub fn is_correct(self) -> bool {
+        self != SolutionQuality::Incorrect
+    }
+}
+
+impl fmt::Display for SolutionQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolutionQuality::Optimal => "optimal",
+            SolutionQuality::Suboptimal => "suboptimal",
+            SolutionQuality::Incorrect => "incorrect",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An evaluated solution: the assignment plus satisfaction counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evaluation {
+    /// Number of satisfied hard constraints.
+    pub hard_satisfied: usize,
+    /// Total number of hard constraints.
+    pub hard_total: usize,
+    /// Number of satisfied soft constraints.
+    pub soft_satisfied: usize,
+    /// Total number of soft constraints.
+    pub soft_total: usize,
+    /// Total *weight* of satisfied soft constraints (equals
+    /// `soft_satisfied` when every weight is 1).
+    pub soft_weight_satisfied: u64,
+    /// Total weight of all soft constraints.
+    pub soft_weight_total: u64,
+}
+
+impl Evaluation {
+    /// Classify per Definition 8 given the maximum achievable satisfied
+    /// soft *weight* (computed by a classical solver). With unit
+    /// weights this is the paper's satisfied-count criterion exactly.
+    pub fn classify(&self, max_soft_weight: u64) -> SolutionQuality {
+        if self.hard_satisfied < self.hard_total {
+            SolutionQuality::Incorrect
+        } else if self.soft_weight_satisfied < max_soft_weight {
+            SolutionQuality::Suboptimal
+        } else {
+            SolutionQuality::Optimal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        let ev = |hs, ht, ss: usize| Evaluation {
+            hard_satisfied: hs,
+            hard_total: ht,
+            soft_satisfied: ss,
+            soft_total: 5,
+            soft_weight_satisfied: ss as u64,
+            soft_weight_total: 5,
+        };
+        assert_eq!(ev(3, 4, 5).classify(5), SolutionQuality::Incorrect);
+        assert_eq!(ev(4, 4, 4).classify(5), SolutionQuality::Suboptimal);
+        assert_eq!(ev(4, 4, 5).classify(5), SolutionQuality::Optimal);
+        // Hard-only program: optimal iff all hard satisfied.
+        assert_eq!(ev(4, 4, 0).classify(0), SolutionQuality::Optimal);
+        assert_eq!(ev(3, 4, 0).classify(0), SolutionQuality::Incorrect);
+    }
+
+    #[test]
+    fn correctness_umbrella() {
+        assert!(SolutionQuality::Optimal.is_correct());
+        assert!(SolutionQuality::Suboptimal.is_correct());
+        assert!(!SolutionQuality::Incorrect.is_correct());
+    }
+
+    #[test]
+    fn ordering_ranks_quality() {
+        assert!(SolutionQuality::Incorrect < SolutionQuality::Suboptimal);
+        assert!(SolutionQuality::Suboptimal < SolutionQuality::Optimal);
+    }
+}

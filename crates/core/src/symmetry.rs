@@ -1,0 +1,138 @@
+//! Constraint symmetry (Definition 7 of the paper).
+//!
+//! Two constraints are *symmetric* iff they have the same selection set
+//! and their variable collections have the same cardinality. The number
+//! of mutually non-symmetric constraints is the paper's measure of how
+//! many distinct constraint *shapes* a programmer must design (Table I,
+//! column 3) — min vertex cover needs only 2, max cut only 1.
+//!
+//! The compiler uses a finer key: two constraints compile to the same
+//! QUBO (up to variable renaming) iff they also share the multiset of
+//! variable multiplicities, so the cache in `nck-compile` keys on
+//! [`CompileKey`].
+
+use crate::constraint::Constraint;
+use std::collections::{BTreeSet, HashSet};
+
+/// Symmetry class per Definition 7: selection set + collection
+/// cardinality.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SymmetryKey {
+    /// Cardinality of the variable collection (with repetitions).
+    pub cardinality: u32,
+    /// The selection set.
+    pub selection: BTreeSet<u32>,
+}
+
+/// Cache key for compiled QUBOs: the sorted multiset of variable
+/// multiplicities plus the selection set. Constraints with equal
+/// [`CompileKey`]s have identical QUBOs up to variable renaming.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CompileKey {
+    /// Sorted multiplicities of the distinct variables.
+    pub multiplicities: Vec<u32>,
+    /// The selection set.
+    pub selection: BTreeSet<u32>,
+}
+
+impl Constraint {
+    /// This constraint's symmetry class (Definition 7).
+    pub fn symmetry_key(&self) -> SymmetryKey {
+        SymmetryKey {
+            cardinality: self.cardinality(),
+            selection: self.selection().clone(),
+        }
+    }
+
+    /// This constraint's compile-cache key.
+    pub fn compile_key(&self) -> CompileKey {
+        let mut multiplicities: Vec<u32> =
+            self.multiplicities().into_iter().map(|(_, m)| m).collect();
+        multiplicities.sort_unstable();
+        CompileKey {
+            multiplicities,
+            selection: self.selection().clone(),
+        }
+    }
+}
+
+/// Count the number of mutually non-symmetric constraints — the number
+/// of distinct [`SymmetryKey`]s (Table I, column 3).
+pub fn count_nonsymmetric<'a>(constraints: impl IntoIterator<Item = &'a Constraint>) -> usize {
+    constraints
+        .into_iter()
+        .map(Constraint::symmetry_key)
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Hardness;
+    use crate::var::Var;
+
+    fn c(vars: &[u32], sel: &[u32]) -> Constraint {
+        Constraint::new(
+            vars.iter().map(|&i| Var::new(i)).collect::<Vec<_>>(),
+            sel.iter().copied(),
+            Hardness::Hard,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_symmetry_examples() {
+        // From the text below Definition 7:
+        // nck({a,b,c},{0,2}) and nck({b,c,d},{0,2}) are symmetric
+        let a = c(&[0, 1, 2], &[0, 2]);
+        let b = c(&[1, 2, 3], &[0, 2]);
+        assert_eq!(a.symmetry_key(), b.symmetry_key());
+        // nck({a,b,c},{0,2}) and nck({b,c,d},{1,2}) are non-symmetric
+        let d = c(&[1, 2, 3], &[1, 2]);
+        assert_ne!(a.symmetry_key(), d.symmetry_key());
+        // nck({a,b,c},{0,2}) and nck({b,c},{1,2}) are non-symmetric
+        let e = c(&[1, 2], &[1, 2]);
+        assert_ne!(a.symmetry_key(), e.symmetry_key());
+    }
+
+    #[test]
+    fn repetition_counts_toward_cardinality() {
+        // {a, a} has cardinality 2, so it is symmetric with {b, c}
+        // under Definition 7 — but their compile keys differ.
+        let rep = c(&[0, 0], &[0, 2]);
+        let pair = c(&[1, 2], &[0, 2]);
+        assert_eq!(rep.symmetry_key(), pair.symmetry_key());
+        assert_ne!(rep.compile_key(), pair.compile_key());
+    }
+
+    #[test]
+    fn compile_key_sorts_multiplicities() {
+        // {a, b, b} and {c, c, d} have the same multiplicity profile.
+        let x = c(&[0, 1, 1], &[1]);
+        let y = c(&[2, 2, 3], &[1]);
+        assert_eq!(x.compile_key(), y.compile_key());
+    }
+
+    #[test]
+    fn count_nonsymmetric_min_vertex_cover() {
+        // Paper: min vertex cover has exactly 2 non-symmetric
+        // constraint shapes — nck({u,v},{1,2}) per edge and
+        // nck({v},{0},soft) per vertex.
+        let mut constraints = Vec::new();
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)] {
+            constraints.push(c(&[u, v], &[1, 2]));
+        }
+        for v in 0..5 {
+            constraints.push(
+                Constraint::new(vec![Var::new(v)], [0], Hardness::Soft).unwrap(),
+            );
+        }
+        assert_eq!(count_nonsymmetric(&constraints), 2);
+    }
+
+    #[test]
+    fn count_nonsymmetric_empty() {
+        assert_eq!(count_nonsymmetric(&[]), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Boolean variables of an NchooseK program.
+
+use std::fmt;
+
+/// A Boolean variable, identified by a dense index within its
+/// [`Program`](crate::program::Program)'s environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Construct a variable with the given id. Normally variables come
+    /// from [`Program::new_var`](crate::program::Program::new_var); this
+    /// constructor exists for tests and generators that manage ids
+    /// themselves.
+    pub fn new(id: u32) -> Self {
+        Var(id)
+    }
+
+    /// The numeric id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        let v = Var::new(42);
+        assert_eq!(v.id(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.to_string(), "v42");
+    }
+
+    #[test]
+    fn ordering_by_id() {
+        assert!(Var::new(1) < Var::new(2));
+        assert_eq!(Var::new(7), Var::new(7));
+    }
+}

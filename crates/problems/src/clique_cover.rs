@@ -1,0 +1,198 @@
+//! Clique Cover (§VI-A-e; NP-complete).
+//!
+//! Partition a graph's vertices into `n` groups such that each group
+//! induces a clique. Structurally the complement of map coloring: the
+//! same one-hot encoding, but the pairwise constraints run over
+//! *non-edges* — two non-adjacent vertices must not share a color.
+//!
+//! NchooseK: `|V|` one-hot constraints plus `n` constraints per absent
+//! edge: `n(|V|(|V|−1)/2 − |E|) + |V|` total, two non-symmetric shapes.
+//! The handcrafted QUBO has the same asymptotics — the paper's example
+//! of a problem where NchooseK does *not* reduce the term count.
+
+use crate::counts::TableCounts;
+use crate::graph::Graph;
+use nck_core::Program;
+use nck_qubo::Qubo;
+
+/// A Clique Cover instance.
+#[derive(Clone, Debug)]
+pub struct CliqueCover {
+    graph: Graph,
+    cliques: usize,
+}
+
+impl CliqueCover {
+    /// Wrap a graph with a target number of cliques.
+    pub fn new(graph: Graph, cliques: usize) -> Self {
+        assert!(cliques >= 1, "need at least one clique");
+        CliqueCover { graph, cliques }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The clique budget `n`.
+    pub fn cliques(&self) -> usize {
+        self.cliques
+    }
+
+    /// Variable index for vertex `v`, clique `i`.
+    pub fn var_index(&self, v: usize, i: usize) -> usize {
+        v * self.cliques + i
+    }
+
+    /// The NchooseK program.
+    pub fn program(&self) -> Program {
+        let mut p = Program::new();
+        let mut vars = Vec::with_capacity(self.graph.num_vertices() * self.cliques);
+        for v in 0..self.graph.num_vertices() {
+            for i in 0..self.cliques {
+                vars.push(p.new_var(format!("v{v}_q{i}")).expect("fresh name"));
+            }
+        }
+        for v in 0..self.graph.num_vertices() {
+            let collection: Vec<_> =
+                (0..self.cliques).map(|i| vars[self.var_index(v, i)]).collect();
+            p.nck(collection, [1]).expect("one-hot constraint");
+        }
+        for (u, v) in self.graph.non_edges() {
+            for i in 0..self.cliques {
+                p.nck(
+                    vec![vars[self.var_index(u, i)], vars[self.var_index(v, i)]],
+                    [0, 1],
+                )
+                .expect("non-edge constraint");
+            }
+        }
+        p
+    }
+
+    /// The handcrafted QUBO: one-hot blocks plus a penalty per
+    /// same-clique non-adjacent pair.
+    pub fn handcrafted_qubo(&self) -> Qubo {
+        let mut q = Qubo::new(self.graph.num_vertices() * self.cliques);
+        for v in 0..self.graph.num_vertices() {
+            let terms: Vec<(usize, f64)> =
+                (0..self.cliques).map(|i| (self.var_index(v, i), -1.0)).collect();
+            q.add_square_of_linear(&terms, 1.0);
+        }
+        for (u, v) in self.graph.non_edges() {
+            for i in 0..self.cliques {
+                q.add_quadratic(self.var_index(u, i), self.var_index(v, i), 1.0);
+            }
+        }
+        q
+    }
+
+    /// Decode to a clique assignment; `None` if not one-hot.
+    pub fn decode(&self, assignment: &[bool]) -> Option<Vec<usize>> {
+        let mut groups = Vec::with_capacity(self.graph.num_vertices());
+        for v in 0..self.graph.num_vertices() {
+            let on: Vec<usize> = (0..self.cliques)
+                .filter(|&i| assignment[self.var_index(v, i)])
+                .collect();
+            match on.as_slice() {
+                [g] => groups.push(*g),
+                _ => return None,
+            }
+        }
+        Some(groups)
+    }
+
+    /// True iff every group induces a clique.
+    pub fn is_valid_cover(&self, assignment: &[bool]) -> bool {
+        match self.decode(assignment) {
+            Some(groups) => {
+                for u in 0..self.graph.num_vertices() {
+                    for v in u + 1..self.graph.num_vertices() {
+                        if groups[u] == groups[v] && !self.graph.has_edge(u, v) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Table I metrics.
+    pub fn counts(&self) -> TableCounts {
+        TableCounts::of(&self.program(), &self.handcrafted_qubo())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_classical::solve_brute;
+
+    #[test]
+    fn constraint_count_formula() {
+        // |V| + n(|V|(|V|−1)/2 − |E|) constraints (Table I row 5).
+        let g = Graph::cycle(5);
+        let cc = CliqueCover::new(g.clone(), 3);
+        let expected = 5 + 3 * (5 * 4 / 2 - g.num_edges());
+        assert_eq!(cc.program().constraints().len(), expected);
+        assert_eq!(cc.program().num_nonsymmetric(), 2);
+    }
+
+    #[test]
+    fn two_triangles_cover_with_two_cliques() {
+        // Two disjoint triangles: perfectly coverable by 2 cliques.
+        let g = Graph::new(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]);
+        let cc = CliqueCover::new(g, 2);
+        let r = solve_brute(&cc.program()).expect("coverable");
+        for &bits in &r.optima {
+            let x: Vec<bool> = (0..12).map(|i| bits >> i & 1 == 1).collect();
+            assert!(cc.is_valid_cover(&x));
+        }
+    }
+
+    #[test]
+    fn path_not_coverable_by_one_clique() {
+        let cc = CliqueCover::new(Graph::path(3), 1);
+        assert!(solve_brute(&cc.program()).is_none());
+        let cc2 = CliqueCover::new(Graph::path(3), 2);
+        assert!(solve_brute(&cc2.program()).is_some());
+    }
+
+    #[test]
+    fn handcrafted_ground_states_are_covers() {
+        let g = Graph::new(4, [(0, 1), (2, 3)]);
+        let cc = CliqueCover::new(g, 2);
+        let q = cc.handcrafted_qubo();
+        let r = nck_qubo::solve_exhaustive(&q);
+        assert_eq!(r.min_energy, 0.0);
+        for &bits in &r.minimizers {
+            let x: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+            assert!(cc.is_valid_cover(&x));
+        }
+    }
+
+    #[test]
+    fn more_edges_fewer_constraints() {
+        // §VIII-A: "increasing the number of edges reduces the number
+        // of constraints for this particular problem formulation".
+        let sparse = CliqueCover::new(Graph::edge_scaling(18), 4);
+        let dense = CliqueCover::new(Graph::edge_scaling(48), 4);
+        assert!(
+            dense.program().constraints().len() < sparse.program().constraints().len()
+        );
+    }
+
+    #[test]
+    fn decode_validates_cliqueness() {
+        let g = Graph::path(3); // 0-1, 1-2; vertices 0 and 2 not adjacent
+        let cc = CliqueCover::new(g, 2);
+        // groups: {0,1} clique, {2} singleton — valid
+        let valid = [true, false, true, false, false, true];
+        assert!(cc.is_valid_cover(&valid));
+        // groups: {0,2} not adjacent — invalid
+        let invalid = [true, false, false, true, true, false];
+        assert!(!cc.is_valid_cover(&invalid));
+    }
+}

@@ -1,0 +1,34 @@
+//! Table I metrics shared by every problem module.
+
+use nck_core::Program;
+use nck_qubo::Qubo;
+
+/// The complexity-comparison metrics of Table I for one instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableCounts {
+    /// Number of NchooseK program variables.
+    pub num_vars: usize,
+    /// Total NchooseK constraints (column 4).
+    pub nck_constraints: usize,
+    /// Mutually non-symmetric constraints (column 3, Definition 7).
+    pub nonsymmetric: usize,
+    /// Nonzero terms of the handcrafted QUBO (column 5).
+    pub handcrafted_qubo_terms: usize,
+    /// Variables of the handcrafted QUBO (may exceed `num_vars` when
+    /// the hand formulation introduces ancillas).
+    pub handcrafted_qubo_vars: usize,
+}
+
+impl TableCounts {
+    /// Compute the metrics from an instance's program and handcrafted
+    /// QUBO.
+    pub fn of(program: &Program, handcrafted: &Qubo) -> Self {
+        TableCounts {
+            num_vars: program.num_vars(),
+            nck_constraints: program.constraints().len(),
+            nonsymmetric: program.num_nonsymmetric(),
+            handcrafted_qubo_terms: handcrafted.num_terms(),
+            handcrafted_qubo_vars: handcrafted.num_vars(),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Undirected simple graphs and the generators used in the paper's
+//! scaling studies (§VII).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An undirected simple graph over vertices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Build from an edge list. Edges are canonicalized to `(min, max)`,
+    /// deduplicated, and sorted; self-loops are rejected.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut es: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(u, v)| {
+                assert!(u != v, "self-loop ({u},{u})");
+                assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        Graph { n, edges: es }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges, each as `(u, v)` with `u < v`, sorted.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// True iff `(u, v)` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        let key = (u.min(v), u.max(v));
+        self.edges.binary_search(&key).is_ok()
+    }
+
+    /// All non-adjacent distinct vertex pairs `(u, v)` with `u < v` —
+    /// the pairs the clique-cover problem constrains.
+    pub fn non_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            for v in u + 1..self.n {
+                if !self.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Adjacency lists.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        adj
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                edges.push((u, v));
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// The cycle `C_n` (requires `n ≥ 3`).
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 vertices");
+        Graph::new(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    /// The path graph on `n` vertices.
+    pub fn path(n: usize) -> Self {
+        Graph::new(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    /// Circulant graph: vertex `i` connects to `i ± 1, …, i ± degree/2`
+    /// (mod n). `degree` must be even and `< n`. This is the family the
+    /// paper times Z3 on in Fig. 12 ("a circulant graph with the
+    /// indicated number of nodes").
+    pub fn circulant(n: usize, degree: usize) -> Self {
+        assert!(degree.is_multiple_of(2), "circulant degree must be even");
+        assert!(degree < n, "circulant degree must be < n");
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for d in 1..=degree / 2 {
+                edges.push((i, (i + d) % n));
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// The paper's *vertex scaling* family (§VII): start from a
+    /// triangle; "each iteration adds a clique of three vertices
+    /// connected to the previous iteration by two edges". `cliques` is
+    /// the number of triangles (so `3 · cliques` vertices).
+    pub fn clique_chain(cliques: usize) -> Self {
+        assert!(cliques >= 1);
+        let n = 3 * cliques;
+        let mut edges = Vec::new();
+        for c in 0..cliques {
+            let base = 3 * c;
+            edges.push((base, base + 1));
+            edges.push((base, base + 2));
+            edges.push((base + 1, base + 2));
+            if c > 0 {
+                // Two edges back to the previous clique.
+                edges.push((base - 1, base));
+                edges.push((base - 2, base + 1));
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// The paper's *edge scaling* family (§VII): 12 vertices in four
+    /// triangles (12 intra-clique edges) plus six inter-clique edges —
+    /// 18 edges total, coverable by four cliques — then additional
+    /// deterministic inter-clique edges up to `num_edges ≤ 66`.
+    pub fn edge_scaling(num_edges: usize) -> Self {
+        assert!((18..=66).contains(&num_edges), "edge scaling supports 18..=66 edges");
+        let mut edges = Vec::new();
+        for c in 0..4 {
+            let b = 3 * c;
+            edges.push((b, b + 1));
+            edges.push((b, b + 2));
+            edges.push((b + 1, b + 2));
+        }
+        // Six inter-clique connectors (a ring of cliques plus two
+        // chords), fixed so the base instance is reproducible.
+        let connectors = [(2, 3), (5, 6), (8, 9), (0, 11), (1, 4), (7, 10)];
+        edges.extend_from_slice(&connectors);
+        debug_assert_eq!(edges.len(), 18);
+        if num_edges > 18 {
+            // Remaining non-edges in a deterministic shuffled order.
+            let base = Graph::new(12, edges.clone());
+            let mut pool = base.non_edges();
+            let mut rng = StdRng::seed_from_u64(0x5ca1e);
+            pool.shuffle(&mut rng);
+            edges.extend(pool.into_iter().take(num_edges - 18));
+        }
+        Graph::new(12, edges)
+    }
+
+    /// Erdős–Rényi G(n, m): `m` distinct edges chosen uniformly with a
+    /// seeded RNG.
+    pub fn random_gnm(n: usize, m: usize, seed: u64) -> Self {
+        let max = n * (n - 1) / 2;
+        assert!(m <= max, "G({n}, m={m}) exceeds {max} possible edges");
+        let mut pool: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        pool.shuffle(&mut rng);
+        pool.truncate(m);
+        Graph::new(n, pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_canonicalize() {
+        let g = Graph::new(3, [(1, 0), (0, 1), (2, 1)]);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let _ = Graph::new(2, [(1, 1)]);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = Graph::complete(5);
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.non_edges().is_empty());
+    }
+
+    #[test]
+    fn cycle_and_path() {
+        assert_eq!(Graph::cycle(4).num_edges(), 4);
+        assert_eq!(Graph::path(4).num_edges(), 3);
+        assert_eq!(Graph::path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn circulant_degree() {
+        let g = Graph::circulant(10, 4);
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    fn clique_chain_shape() {
+        // k triangles: 3k vertices, 3k + 2(k−1) edges.
+        for k in 1..=11 {
+            let g = Graph::clique_chain(k);
+            assert_eq!(g.num_vertices(), 3 * k);
+            assert_eq!(g.num_edges(), 3 * k + 2 * (k - 1));
+        }
+        // 11 triangles = 33 vertices, the paper's initial scaling limit.
+        assert_eq!(Graph::clique_chain(11).num_vertices(), 33);
+    }
+
+    #[test]
+    fn edge_scaling_range() {
+        let base = Graph::edge_scaling(18);
+        assert_eq!(base.num_vertices(), 12);
+        assert_eq!(base.num_edges(), 18);
+        for m in [24, 37, 48, 63, 66] {
+            let g = Graph::edge_scaling(m);
+            assert_eq!(g.num_edges(), m, "requested {m} edges");
+            // Base edges are always present.
+            for &(u, v) in base.edges() {
+                assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_scaling_deterministic() {
+        assert_eq!(Graph::edge_scaling(30), Graph::edge_scaling(30));
+    }
+
+    #[test]
+    fn gnm_is_seeded_and_sized() {
+        let a = Graph::random_gnm(10, 15, 7);
+        let b = Graph::random_gnm(10, 15, 7);
+        let c = Graph::random_gnm(10, 15, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.num_edges(), 15);
+        assert_ne!(a, c); // overwhelmingly likely
+    }
+
+    #[test]
+    fn adjacency_consistent() {
+        let g = Graph::cycle(5);
+        let adj = g.adjacency();
+        for (v, nbrs) in adj.iter().enumerate() {
+            assert_eq!(nbrs.len(), 2, "cycle vertex {v}");
+            for &u in nbrs {
+                assert!(g.has_edge(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! k-Satisfiability (§VI-A-f; NP-complete).
+//!
+//! NchooseK cannot negate a variable inside a constraint, so the paper
+//! offers two encodings:
+//!
+//! * **Dual-rail**: one ancilla variable per original variable holding
+//!   the opposite value (`nck({x, x̄}, {1})`), then one constraint per
+//!   clause over the rails with selection `{1..k}` — `n + m`
+//!   constraints, two non-symmetric shapes.
+//! * **Repeated-variable**: weight literals by repetition so that the
+//!   clause's single violating assignment gets a unique weighted count,
+//!   then exclude that count from the selection set. For clause
+//!   `(x ∨ y ∨ ¬z)` this yields `nck({x,y,z,z,z}, {0,1,2,4,5})` —
+//!   `m` constraints, but up to `k` non-symmetric shapes and larger
+//!   collections. (The paper's §VI prints the collection as
+//!   `{x,y,z,z}` with selection `{0,1,2,4,5}`; a selection value of 5
+//!   requires cardinality 5, so the collection must be `{x,y,z,z,z}` —
+//!   we implement the corrected form: negated literals carry
+//!   multiplicity `p+1` where `p` is the clause's positive-literal
+//!   count, making the violating weighted count `q(p+1)` unique.)
+//!
+//! Handcrafted QUBO baseline: the classic reduction to Maximum
+//! Independent Set [Choi; Lucas §4.2] — one node per literal
+//! *occurrence*, clique edges inside each clause, conflict edges
+//! between opposite occurrences of the same variable; satisfiable iff
+//! the MIS has one node per clause.
+
+use crate::counts::TableCounts;
+use nck_core::Program;
+use nck_qubo::Qubo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A literal: a variable index and a polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Literal {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal `x`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+    /// Negative literal `¬x`.
+    pub fn neg(var: usize) -> Self {
+        Literal { var, positive: false }
+    }
+    /// Value of the literal under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A k-SAT instance in CNF.
+#[derive(Clone, Debug)]
+pub struct KSat {
+    num_vars: usize,
+    clauses: Vec<Vec<Literal>>,
+}
+
+impl KSat {
+    /// Build an instance. Clauses must be non-empty and mention each
+    /// variable at most once.
+    pub fn new(num_vars: usize, clauses: Vec<Vec<Literal>>) -> Self {
+        for (i, c) in clauses.iter().enumerate() {
+            assert!(!c.is_empty(), "clause {i} is empty");
+            let mut seen = BTreeSet::new();
+            for lit in c {
+                assert!(lit.var < num_vars, "clause {i} mentions variable out of range");
+                assert!(seen.insert(lit.var), "clause {i} repeats a variable");
+            }
+        }
+        KSat { num_vars, clauses }
+    }
+
+    /// Random 3-SAT with a planted satisfying assignment (so instances
+    /// stay satisfiable as in the paper's scaling study).
+    pub fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Self {
+        assert!(num_vars >= 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planted: Vec<bool> = (0..num_vars).map(|_| rng.random()).collect();
+        let mut clauses = Vec::with_capacity(num_clauses);
+        while clauses.len() < num_clauses {
+            let mut vars = BTreeSet::new();
+            while vars.len() < 3 {
+                vars.insert(rng.random_range(0..num_vars));
+            }
+            let clause: Vec<Literal> = vars
+                .into_iter()
+                .map(|v| Literal { var: v, positive: rng.random() })
+                .collect();
+            if clause.iter().any(|l| l.eval(&planted)) {
+                clauses.push(clause);
+            }
+        }
+        KSat { num_vars, clauses }
+    }
+
+    /// Parse a DIMACS CNF document (the standard SAT-competition
+    /// format: a `p cnf <vars> <clauses>` header, `c` comment lines,
+    /// and zero-terminated clause lines of signed 1-based literals).
+    pub fn from_dimacs(text: &str) -> Result<Self, String> {
+        let mut num_vars: Option<usize> = None;
+        let mut declared_clauses = 0usize;
+        let mut clauses: Vec<Vec<Literal>> = Vec::new();
+        let mut current: Vec<Literal> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                match parts.as_slice() {
+                    ["cnf", v, m] => {
+                        num_vars = Some(
+                            v.parse().map_err(|e| format!("line {}: bad var count: {e}", lineno + 1))?,
+                        );
+                        declared_clauses = m
+                            .parse()
+                            .map_err(|e| format!("line {}: bad clause count: {e}", lineno + 1))?;
+                    }
+                    _ => return Err(format!("line {}: malformed problem line", lineno + 1)),
+                }
+                continue;
+            }
+            let nv = num_vars.ok_or_else(|| {
+                format!("line {}: clause before 'p cnf' header", lineno + 1)
+            })?;
+            for tok in line.split_whitespace() {
+                let lit: i64 = tok
+                    .parse()
+                    .map_err(|e| format!("line {}: bad literal {tok:?}: {e}", lineno + 1))?;
+                if lit == 0 {
+                    if !current.is_empty() {
+                        clauses.push(std::mem::take(&mut current));
+                    }
+                } else {
+                    let var = lit.unsigned_abs() as usize - 1;
+                    if var >= nv {
+                        return Err(format!(
+                            "line {}: literal {lit} exceeds declared {nv} variables",
+                            lineno + 1
+                        ));
+                    }
+                    if current.iter().any(|l| l.var == var) {
+                        return Err(format!(
+                            "line {}: variable {} repeated within a clause",
+                            lineno + 1,
+                            var + 1
+                        ));
+                    }
+                    current.push(Literal { var, positive: lit > 0 });
+                }
+            }
+        }
+        if !current.is_empty() {
+            clauses.push(current);
+        }
+        let num_vars = num_vars.ok_or("missing 'p cnf' header")?;
+        if declared_clauses != 0 && clauses.len() != declared_clauses {
+            return Err(format!(
+                "header declares {declared_clauses} clauses, found {}",
+                clauses.len()
+            ));
+        }
+        Ok(KSat::new(num_vars, clauses))
+    }
+
+    /// Render as a DIMACS CNF document (round-trips with
+    /// [`KSat::from_dimacs`]).
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let v = lit.var as i64 + 1;
+                let _ = write!(out, "{} ", if lit.positive { v } else { -v });
+            }
+            out.push_str("0
+");
+        }
+        out
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Literal>] {
+        &self.clauses
+    }
+
+    /// Domain check: does `assignment` satisfy every clause?
+    pub fn is_satisfying(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(&assignment[..self.num_vars])))
+    }
+
+    /// Dual-rail NchooseK program. Variable layout: `x0..x(n−1)` then
+    /// rails `nx0..nx(n−1)`; project a solution by taking the first `n`
+    /// variables.
+    pub fn program_dual_rail(&self) -> Program {
+        let mut p = Program::new();
+        let xs = p.new_vars("x", self.num_vars).expect("fresh names");
+        let nxs = p.new_vars("nx", self.num_vars).expect("fresh names");
+        for v in 0..self.num_vars {
+            p.nck(vec![xs[v], nxs[v]], [1]).expect("rail constraint");
+        }
+        for clause in &self.clauses {
+            let collection: Vec<_> = clause
+                .iter()
+                .map(|l| if l.positive { xs[l.var] } else { nxs[l.var] })
+                .collect();
+            let k = collection.len() as u32;
+            p.nck(collection, 1..=k).expect("clause constraint");
+        }
+        p
+    }
+
+    /// Repeated-variable NchooseK program over the original `n`
+    /// variables only: for a clause with `p` positive and `q` negative
+    /// literals, positives enter once and negatives `p+1` times; the
+    /// weighted count `q(p+1)` is attained only by the violating
+    /// assignment and is excluded from the selection set.
+    pub fn program_repeated(&self) -> Program {
+        let mut p = Program::new();
+        let xs = p.new_vars("x", self.num_vars).expect("fresh names");
+        for clause in &self.clauses {
+            let positives: Vec<usize> =
+                clause.iter().filter(|l| l.positive).map(|l| l.var).collect();
+            let negatives: Vec<usize> =
+                clause.iter().filter(|l| !l.positive).map(|l| l.var).collect();
+            let (np, nq) = (positives.len() as u32, negatives.len() as u32);
+            let weight = np + 1;
+            let mut collection = Vec::new();
+            for &v in &positives {
+                collection.push(xs[v]);
+            }
+            for &v in &negatives {
+                for _ in 0..weight {
+                    collection.push(xs[v]);
+                }
+            }
+            let violating = nq * weight;
+            // Achievable counts t + s·(p+1), minus the violating one.
+            let mut selection = BTreeSet::new();
+            for t in 0..=np {
+                for s in 0..=nq {
+                    let count = t + s * weight;
+                    if count != violating {
+                        selection.insert(count);
+                    }
+                }
+            }
+            p.nck(collection, selection).expect("clause constraint");
+        }
+        p
+    }
+
+    /// Handcrafted MIS-reduction QUBO. Node layout: one node per
+    /// literal occurrence, clause-major. Energy `−Σ x + 2·Σ_conflicts
+    /// x·x`; the instance is satisfiable iff the minimum is `−m`.
+    pub fn handcrafted_qubo(&self) -> Qubo {
+        let offsets: Vec<usize> = self
+            .clauses
+            .iter()
+            .scan(0usize, |acc, c| {
+                let o = *acc;
+                *acc += c.len();
+                Some(o)
+            })
+            .collect();
+        let total: usize = self.clauses.iter().map(Vec::len).sum();
+        let mut q = Qubo::new(total);
+        for v in 0..total {
+            q.add_linear(v, -1.0);
+        }
+        // Clique inside each clause: pick at most one literal node.
+        for (ci, clause) in self.clauses.iter().enumerate() {
+            for a in 0..clause.len() {
+                for b in a + 1..clause.len() {
+                    q.add_quadratic(offsets[ci] + a, offsets[ci] + b, 2.0);
+                }
+            }
+        }
+        // Conflict edges: x in one clause vs ¬x in another.
+        for (ci, clause) in self.clauses.iter().enumerate() {
+            for (cj, other) in self.clauses.iter().enumerate().skip(ci + 1) {
+                for (a, la) in clause.iter().enumerate() {
+                    for (b, lb) in other.iter().enumerate() {
+                        if la.var == lb.var && la.positive != lb.positive {
+                            q.add_quadratic(offsets[ci] + a, offsets[cj] + b, 2.0);
+                        }
+                    }
+                }
+            }
+        }
+        q
+    }
+
+    /// A second handcrafted baseline: the product-form clause penalty.
+    /// Each clause contributes `Π_lit (1 − lit)` — a degree-k monomial
+    /// that is 1 exactly on the clause's violating assignment — and the
+    /// cubic-and-above terms are quadratized by Rosenberg substitution
+    /// (`nck_qubo::Poly`). Satisfiable iff the minimum is 0. Unlike the
+    /// MIS reduction, this stays on the original `n` variables plus one
+    /// auxiliary per substitution.
+    pub fn handcrafted_qubo_product(&self) -> Qubo {
+        use nck_qubo::Poly;
+        let mut p = Poly::new(self.num_vars);
+        for clause in &self.clauses {
+            let mut term = Poly::one(self.num_vars);
+            for lit in clause {
+                if lit.positive {
+                    term.multiply_linear(&[(lit.var, -1.0)], 1.0); // (1 − x)
+                } else {
+                    term.multiply_linear(&[(lit.var, 1.0)], 0.0); // x
+                }
+            }
+            p.add_assign(&term);
+        }
+        let (qubo, _) = p.quadratize();
+        qubo
+    }
+
+    /// Table I metrics (dual-rail encoding, the paper's default).
+    pub fn counts(&self) -> TableCounts {
+        TableCounts::of(&self.program_dual_rail(), &self.handcrafted_qubo())
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_classical::solve_brute;
+
+    /// (x ∨ y ∨ ¬z) ∧ (¬x ∨ z)
+    fn small() -> KSat {
+        KSat::new(
+            3,
+            vec![
+                vec![Literal::pos(0), Literal::pos(1), Literal::neg(2)],
+                vec![Literal::neg(0), Literal::pos(2)],
+            ],
+        )
+    }
+
+    fn domain_solutions(sat: &KSat) -> Vec<u64> {
+        (0..1u64 << sat.num_vars())
+            .filter(|&bits| {
+                let x: Vec<bool> = (0..sat.num_vars()).map(|i| bits >> i & 1 == 1).collect();
+                sat.is_satisfying(&x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dual_rail_matches_domain() {
+        let sat = small();
+        let p = sat.program_dual_rail();
+        assert_eq!(p.num_hard(), 3 + 2); // n rails + m clauses
+        let r = solve_brute(&p).expect("satisfiable");
+        let projected: BTreeSet<u64> = r
+            .optima
+            .iter()
+            .map(|bits| bits & ((1 << sat.num_vars()) - 1))
+            .collect();
+        let expect: BTreeSet<u64> = domain_solutions(&sat).into_iter().collect();
+        assert_eq!(projected, expect);
+    }
+
+    #[test]
+    fn repeated_matches_domain() {
+        let sat = small();
+        let p = sat.program_repeated();
+        assert_eq!(p.num_hard(), 2); // m clauses only
+        assert_eq!(p.num_vars(), 3);
+        let r = solve_brute(&p).expect("satisfiable");
+        let got: BTreeSet<u64> = r.optima.iter().copied().collect();
+        let expect: BTreeSet<u64> = domain_solutions(&sat).into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn repeated_encoding_matches_papers_corrected_example() {
+        // (x ∨ y ∨ ¬z): positives {x,y}, negative z with weight 3 →
+        // collection {x,y,z,z,z}, selection {0,1,2,4,5}.
+        let sat = KSat::new(
+            3,
+            vec![vec![Literal::pos(0), Literal::pos(1), Literal::neg(2)]],
+        );
+        let p = sat.program_repeated();
+        let c = &p.constraints()[0];
+        assert_eq!(c.cardinality(), 5);
+        let sel: Vec<u32> = c.selection().iter().copied().collect();
+        assert_eq!(sel, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn all_negative_clause() {
+        // (¬x ∨ ¬y): violating assignment x=y=1.
+        let sat = KSat::new(2, vec![vec![Literal::neg(0), Literal::neg(1)]]);
+        for p in [sat.program_dual_rail(), sat.program_repeated()] {
+            let r = solve_brute(&p).expect("satisfiable");
+            let projected: BTreeSet<u64> =
+                r.optima.iter().map(|b| b & 0b11).collect();
+            assert_eq!(projected, BTreeSet::from([0b00, 0b01, 0b10]));
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_instance() {
+        // x ∧ ¬x via two unit clauses.
+        let sat = KSat::new(1, vec![vec![Literal::pos(0)], vec![Literal::neg(0)]]);
+        assert!(solve_brute(&sat.program_dual_rail()).is_none());
+        assert!(solve_brute(&sat.program_repeated()).is_none());
+    }
+
+    #[test]
+    fn mis_qubo_detects_satisfiability() {
+        let sat = small();
+        let q = sat.handcrafted_qubo();
+        let r = nck_qubo::solve_exhaustive(&q);
+        assert_eq!(r.min_energy, -2.0, "satisfiable: MIS picks one node per clause");
+        let unsat = KSat::new(1, vec![vec![Literal::pos(0)], vec![Literal::neg(0)]]);
+        let r = nck_qubo::solve_exhaustive(&unsat.handcrafted_qubo());
+        assert_eq!(r.min_energy, -1.0, "unsat: conflict edge blocks the second node");
+    }
+
+    #[test]
+    fn product_form_qubo_detects_satisfiability() {
+        // Satisfiable: ground energy 0, and every minimizer projects to
+        // a satisfying assignment.
+        let sat = small();
+        let q = sat.handcrafted_qubo_product();
+        let r = nck_qubo::solve_exhaustive(&q);
+        assert_eq!(r.min_energy, 0.0);
+        let mask = (1u64 << sat.num_vars()) - 1;
+        for &bits in &r.minimizers {
+            let x: Vec<bool> = (0..sat.num_vars()).map(|i| (bits & mask) >> i & 1 == 1).collect();
+            assert!(sat.is_satisfying(&x));
+        }
+        // Unsatisfiable: ground energy ≥ 1 (at least one clause broken).
+        let unsat = KSat::new(1, vec![vec![Literal::pos(0)], vec![Literal::neg(0)]]);
+        let r = nck_qubo::solve_exhaustive(&unsat.handcrafted_qubo_product());
+        assert!(r.min_energy >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn random_3sat_planted_is_satisfiable() {
+        for seed in 0..5 {
+            let sat = KSat::random_3sat(8, 12, seed);
+            assert_eq!(sat.clauses().len(), 12);
+            assert!(!domain_solutions(&sat).is_empty(), "seed {seed} unsatisfiable");
+        }
+    }
+
+    #[test]
+    fn dimacs_parse_basic() {
+        let text = "c a comment\np cnf 3 2\n1 2 -3 0\n-1 3 0\n";
+        let sat = KSat::from_dimacs(text).unwrap();
+        assert_eq!(sat.num_vars(), 3);
+        assert_eq!(sat.clauses().len(), 2);
+        assert_eq!(sat.clauses()[0], vec![Literal::pos(0), Literal::pos(1), Literal::neg(2)]);
+        assert_eq!(sat.clauses()[1], vec![Literal::neg(0), Literal::pos(2)]);
+    }
+
+    #[test]
+    fn dimacs_multiline_clause_and_trailing() {
+        // Clauses may span lines; a final clause may omit the 0.
+        let text = "p cnf 2 2\n1\n2 0\n-1 -2";
+        let sat = KSat::from_dimacs(text).unwrap();
+        assert_eq!(sat.clauses().len(), 2);
+        assert_eq!(sat.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert!(KSat::from_dimacs("1 2 0").unwrap_err().contains("before 'p cnf'"));
+        assert!(KSat::from_dimacs("p cnf 2 1\n3 0\n").unwrap_err().contains("exceeds"));
+        assert!(KSat::from_dimacs("p cnf 2 5\n1 0\n").unwrap_err().contains("declares 5"));
+        assert!(KSat::from_dimacs("p dnf 2 1\n").unwrap_err().contains("malformed"));
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let sat = KSat::random_3sat(7, 12, 42);
+        let text = sat.to_dimacs();
+        let back = KSat::from_dimacs(&text).unwrap();
+        assert_eq!(back.num_vars(), sat.num_vars());
+        assert_eq!(back.clauses(), sat.clauses());
+    }
+
+    #[test]
+    fn random_3sat_deterministic() {
+        let a = KSat::random_3sat(8, 12, 9);
+        let b = KSat::random_3sat(8, 12, 9);
+        assert_eq!(a.clauses(), b.clauses());
+    }
+}

@@ -1,0 +1,42 @@
+//! # nck-problems
+//!
+//! The seven benchmark problems of the paper's Table I, each with its
+//! NchooseK encoding, the handcrafted QUBO baseline from §VI, a
+//! domain-level verifier, seeded instance generators, and the Table I
+//! complexity metrics:
+//!
+//! | # | Problem | Class | Module |
+//! |---|---------|-------|--------|
+//! | 1 | Exact Cover | NP-C | [`exact_cover`] |
+//! | 2 | Minimum Set Cover | NP-H | [`min_set_cover`] |
+//! | 3 | Minimum Vertex Cover | NP-H | [`vertex_cover`] |
+//! | 4 | Map Coloring | NP-C | [`map_color`] |
+//! | 5 | Clique Cover | NP-C | [`clique_cover`] |
+//! | 6 | k-SAT | NP-C | [`ksat`] |
+//! | 7 | Maximum Cut | NP-H | [`max_cut`] |
+//!
+//! [`graph`] provides the scaling-study graph generators of §VII
+//! (clique chains for vertex scaling, the 12-vertex edge-scaling
+//! family, circulant graphs for the Fig. 12 timing study).
+
+#![warn(missing_docs)]
+
+pub mod clique_cover;
+pub mod counts;
+pub mod exact_cover;
+pub mod graph;
+pub mod ksat;
+pub mod map_color;
+pub mod max_cut;
+pub mod min_set_cover;
+pub mod vertex_cover;
+
+pub use clique_cover::CliqueCover;
+pub use counts::TableCounts;
+pub use exact_cover::ExactCover;
+pub use graph::Graph;
+pub use ksat::{KSat, Literal};
+pub use map_color::MapColoring;
+pub use max_cut::MaxCut;
+pub use min_set_cover::MinSetCover;
+pub use vertex_cover::MinVertexCover;

@@ -1,0 +1,187 @@
+//! Map Coloring (§VI-A-d; NP-complete).
+//!
+//! Color a graph with `n` colors so no edge is monochromatic, using a
+//! one-hot encoding: variable `x_{v,i}` = "vertex v has color i".
+//!
+//! NchooseK encoding: per vertex, `nck(colors(v), {1})` (exactly one
+//! color); per edge and color, `nck({x_{u,i}, x_{v,i}}, {0,1})` (not
+//! both endpoints color i). Two non-symmetric shapes; `|V| + n|E|`
+//! constraints.
+//!
+//! Handcrafted QUBO: `Σ_v (1 − Σ_i x_{v,i})² + Σ_{(u,v)∈E} Σ_i
+//! x_{u,i}·x_{v,i}` — `O(|V|n² + |E|n)` terms versus NchooseK's
+//! `O(|V| + |E|n)` constraints.
+
+use crate::counts::TableCounts;
+use crate::graph::Graph;
+use nck_core::Program;
+use nck_qubo::Qubo;
+
+/// A Map Coloring instance.
+#[derive(Clone, Debug)]
+pub struct MapColoring {
+    graph: Graph,
+    colors: usize,
+}
+
+impl MapColoring {
+    /// Wrap a graph with a color budget.
+    pub fn new(graph: Graph, colors: usize) -> Self {
+        assert!(colors >= 1, "need at least one color");
+        MapColoring { graph, colors }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of colors.
+    pub fn colors(&self) -> usize {
+        self.colors
+    }
+
+    /// Variable index for vertex `v`, color `i` in the one-hot layout.
+    pub fn var_index(&self, v: usize, i: usize) -> usize {
+        v * self.colors + i
+    }
+
+    /// The NchooseK program: variables `v<v>_c<i>`.
+    pub fn program(&self) -> Program {
+        let mut p = Program::new();
+        let mut vars = Vec::with_capacity(self.graph.num_vertices() * self.colors);
+        for v in 0..self.graph.num_vertices() {
+            for i in 0..self.colors {
+                vars.push(p.new_var(format!("v{v}_c{i}")).expect("fresh name"));
+            }
+        }
+        for v in 0..self.graph.num_vertices() {
+            let collection: Vec<_> =
+                (0..self.colors).map(|i| vars[self.var_index(v, i)]).collect();
+            p.nck(collection, [1]).expect("one-hot constraint");
+        }
+        for &(u, v) in self.graph.edges() {
+            for i in 0..self.colors {
+                p.nck(
+                    vec![vars[self.var_index(u, i)], vars[self.var_index(v, i)]],
+                    [0, 1],
+                )
+                .expect("edge-color constraint");
+            }
+        }
+        p
+    }
+
+    /// The handcrafted one-hot QUBO.
+    pub fn handcrafted_qubo(&self) -> Qubo {
+        let mut q = Qubo::new(self.graph.num_vertices() * self.colors);
+        for v in 0..self.graph.num_vertices() {
+            let terms: Vec<(usize, f64)> =
+                (0..self.colors).map(|i| (self.var_index(v, i), -1.0)).collect();
+            q.add_square_of_linear(&terms, 1.0);
+        }
+        for &(u, v) in self.graph.edges() {
+            for i in 0..self.colors {
+                q.add_quadratic(self.var_index(u, i), self.var_index(v, i), 1.0);
+            }
+        }
+        q
+    }
+
+    /// Decode a one-hot assignment to a coloring; `None` if some vertex
+    /// is not exactly-one-hot.
+    pub fn decode(&self, assignment: &[bool]) -> Option<Vec<usize>> {
+        let mut coloring = Vec::with_capacity(self.graph.num_vertices());
+        for v in 0..self.graph.num_vertices() {
+            let on: Vec<usize> = (0..self.colors)
+                .filter(|&i| assignment[self.var_index(v, i)])
+                .collect();
+            match on.as_slice() {
+                [color] => coloring.push(*color),
+                _ => return None,
+            }
+        }
+        Some(coloring)
+    }
+
+    /// True iff `assignment` decodes to a proper coloring.
+    pub fn is_valid_coloring(&self, assignment: &[bool]) -> bool {
+        match self.decode(assignment) {
+            Some(coloring) => self
+                .graph
+                .edges()
+                .iter()
+                .all(|&(u, v)| coloring[u] != coloring[v]),
+            None => false,
+        }
+    }
+
+    /// Table I metrics.
+    pub fn counts(&self) -> TableCounts {
+        TableCounts::of(&self.program(), &self.handcrafted_qubo())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_classical::solve_brute;
+
+    #[test]
+    fn program_constraint_counts() {
+        // |V| + n|E| constraints, 2 non-symmetric shapes (Table I).
+        let mc = MapColoring::new(Graph::cycle(4), 3);
+        let p = mc.program();
+        assert_eq!(p.num_hard(), 4 + 3 * 4);
+        assert_eq!(p.num_nonsymmetric(), 2);
+    }
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let two = MapColoring::new(Graph::complete(3), 2);
+        assert!(solve_brute(&two.program()).is_none(), "K3 is not 2-colorable");
+        let three = MapColoring::new(Graph::complete(3), 3);
+        let r = solve_brute(&three.program()).expect("K3 is 3-colorable");
+        for &bits in &r.optima {
+            let x: Vec<bool> = (0..9).map(|i| bits >> i & 1 == 1).collect();
+            assert!(three.is_valid_coloring(&x));
+        }
+    }
+
+    #[test]
+    fn handcrafted_ground_states_are_colorings() {
+        let mc = MapColoring::new(Graph::path(3), 2);
+        let q = mc.handcrafted_qubo();
+        let r = nck_qubo::solve_exhaustive(&q);
+        assert_eq!(r.min_energy, 0.0);
+        for &bits in &r.minimizers {
+            let x: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            assert!(mc.is_valid_coloring(&x));
+        }
+        // Path of 3 vertices with 2 colors: colorings = 2 (alternate).
+        assert_eq!(r.minimizers.len(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_non_one_hot() {
+        let mc = MapColoring::new(Graph::path(2), 2);
+        assert_eq!(mc.decode(&[true, true, true, false]), None);
+        assert_eq!(mc.decode(&[false, false, true, false]), None);
+        assert_eq!(
+            mc.decode(&[true, false, false, true]),
+            Some(vec![0, 1])
+        );
+    }
+
+    #[test]
+    fn handcrafted_term_count_formula() {
+        // |V| one-hot blocks: n linear + C(n,2) quadratic each;
+        // |E|·n edge terms.
+        let v = 4;
+        let e = 4;
+        let n = 3;
+        let mc = MapColoring::new(Graph::cycle(v), n);
+        let expect = v * (n + n * (n - 1) / 2) + e * n;
+        assert_eq!(mc.handcrafted_qubo().num_terms(), expect);
+    }
+}

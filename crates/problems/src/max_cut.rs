@@ -1,0 +1,173 @@
+//! Maximum Cut (§VI-A-g; NP-hard, the paper's simplest soft-only
+//! problem).
+//!
+//! NchooseK encoding: one soft `nck({u,v},{1})` per edge — "a
+//! preference that every edge be cut". One non-symmetric constraint
+//! shape in total.
+//!
+//! Handcrafted baseline: the Ising Hamiltonian `Σ_{(u,v)∈E} s_u s_v`
+//! (minimized when adjacent spins differ), which picks up `O(|V|)`
+//! extra linear terms when converted to QUBO form — the paper's note
+//! that Ising→QUBO conversion grows max cut from `O(|E|)` to
+//! `O(|E| + |V|)` terms.
+
+use crate::counts::TableCounts;
+use crate::graph::Graph;
+use nck_core::Program;
+use nck_qubo::{Ising, Qubo};
+
+/// A Max Cut instance, optionally edge-weighted.
+#[derive(Clone, Debug)]
+pub struct MaxCut {
+    graph: Graph,
+    /// Per-edge weights, parallel to `graph.edges()` (all 1 when
+    /// unweighted).
+    weights: Vec<u32>,
+}
+
+impl MaxCut {
+    /// Wrap a graph (unit edge weights).
+    pub fn new(graph: Graph) -> Self {
+        let weights = vec![1; graph.num_edges()];
+        MaxCut { graph, weights }
+    }
+
+    /// Weighted max cut: maximize the total *weight* of cut edges.
+    /// Uses the weighted-soft-constraint extension: one
+    /// `nck({u,v},{1}, soft*w)` per edge.
+    pub fn with_weights(graph: Graph, weights: Vec<u32>) -> Self {
+        assert_eq!(weights.len(), graph.num_edges(), "one weight per edge");
+        assert!(weights.iter().all(|&w| w >= 1), "weights must be ≥ 1");
+        MaxCut { graph, weights }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The NchooseK program: all-soft, one constraint per edge.
+    pub fn program(&self) -> Program {
+        let mut p = Program::new();
+        let vs = p
+            .new_vars("v", self.graph.num_vertices())
+            .expect("fresh names");
+        for (&(u, w), &wt) in self.graph.edges().iter().zip(&self.weights) {
+            p.nck_soft_weighted(vec![vs[u], vs[w]], [1], wt)
+                .expect("edge soft constraint");
+        }
+        p
+    }
+
+    /// The handcrafted Ising Hamiltonian `Σ w·s_u s_v`.
+    pub fn handcrafted_ising(&self) -> Ising {
+        let mut ising = Ising::new(self.graph.num_vertices());
+        for (&(u, v), &w) in self.graph.edges().iter().zip(&self.weights) {
+            ising.add_coupling(u, v, w as f64);
+        }
+        ising
+    }
+
+    /// The handcrafted QUBO (Ising converted).
+    pub fn handcrafted_qubo(&self) -> Qubo {
+        self.handcrafted_ising().to_qubo()
+    }
+
+    /// Number of edges cut by a partition.
+    pub fn cut_size(&self, assignment: &[bool]) -> usize {
+        self.graph
+            .edges()
+            .iter()
+            .filter(|&&(u, v)| assignment[u] != assignment[v])
+            .count()
+    }
+
+    /// Total weight of cut edges.
+    pub fn cut_weight(&self, assignment: &[bool]) -> u64 {
+        self.graph
+            .edges()
+            .iter()
+            .zip(&self.weights)
+            .filter(|(&(u, v), _)| assignment[u] != assignment[v])
+            .map(|(_, &w)| w as u64)
+            .sum()
+    }
+
+    /// Table I metrics.
+    pub fn counts(&self) -> TableCounts {
+        TableCounts::of(&self.program(), &self.handcrafted_qubo())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_classical::max_soft_satisfiable;
+
+    #[test]
+    fn program_is_all_soft_one_shape() {
+        let mc = MaxCut::new(Graph::cycle(6));
+        let p = mc.program();
+        assert_eq!(p.num_hard(), 0);
+        assert_eq!(p.num_soft(), 6);
+        assert_eq!(p.num_nonsymmetric(), 1); // Table I row 7
+    }
+
+    #[test]
+    fn soft_optimum_is_max_cut() {
+        // Even cycle: perfectly bipartite, all 6 edges cuttable.
+        let mc = MaxCut::new(Graph::cycle(6));
+        assert_eq!(max_soft_satisfiable(&mc.program()), Some(6));
+        // Odd cycle: one edge must stay uncut.
+        let mc5 = MaxCut::new(Graph::cycle(5));
+        assert_eq!(max_soft_satisfiable(&mc5.program()), Some(4));
+        // Triangle: best cut is 2.
+        let k3 = MaxCut::new(Graph::complete(3));
+        assert_eq!(max_soft_satisfiable(&k3.program()), Some(2));
+    }
+
+    #[test]
+    fn ising_minimizers_are_max_cuts() {
+        let mc = MaxCut::new(Graph::complete(4));
+        let r = nck_qubo::solve_exhaustive(&mc.handcrafted_qubo());
+        for &bits in &r.minimizers {
+            let x: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(mc.cut_size(&x), 4, "K4 max cut is 4 (2+2 split)");
+        }
+    }
+
+    #[test]
+    fn ising_vs_qubo_term_counts() {
+        // §VI-A-g: O(|E|) Ising terms vs O(|E| + |V|) QUBO terms.
+        let mc = MaxCut::new(Graph::cycle(8));
+        assert_eq!(mc.handcrafted_ising().num_terms(), 8);
+        assert_eq!(mc.handcrafted_qubo().num_terms(), 8 + 8);
+    }
+
+    #[test]
+    fn weighted_cut_prefers_heavy_edges() {
+        // Triangle with one heavy edge: the optimum cuts the heavy edge
+        // plus one light edge (weight 10 + 1), never the two light ones
+        // alone (weight 2).
+        let g = Graph::complete(3);
+        // edges() is sorted: (0,1), (0,2), (1,2); make (0,1) heavy.
+        let mc = MaxCut::with_weights(g, vec![10, 1, 1]);
+        assert_eq!(max_soft_satisfiable(&mc.program()), Some(11));
+        // Exhaustive check of the weighted optimum via the QUBO path.
+        use nck_compile::{compile, CompilerOptions};
+        let compiled = compile(&mc.program(), &CompilerOptions::default()).unwrap();
+        let r = nck_qubo::solve_exhaustive(&compiled.qubo);
+        for &bits in &r.minimizers {
+            let x: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(mc.cut_weight(&x), 11, "minimizer {bits:03b} not weight-optimal");
+        }
+    }
+
+    #[test]
+    fn cut_size_counts_correctly() {
+        let mc = MaxCut::new(Graph::path(3)); // edges (0,1), (1,2)
+        assert_eq!(mc.cut_size(&[false, true, false]), 2);
+        assert_eq!(mc.cut_size(&[false, false, true]), 1);
+        assert_eq!(mc.cut_size(&[true, true, true]), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimum Vertex Cover (§IV of the paper — the motivating example for
+//! soft constraints; NP-hard).
+//!
+//! NchooseK encoding: one variable per vertex (TRUE = in the cover);
+//! hard `nck({u,v},{1,2})` per edge; soft `nck({v},{0})` per vertex.
+//! Exactly two non-symmetric constraint shapes.
+//!
+//! Handcrafted QUBO (§VI-A-c): `A·Σ_{(u,v)∈E} (1−x_u)(1−x_v) + B·Σ_v x_v`
+//! with `A > B` so that uncovering an edge is never worth dropping a
+//! vertex; `3|E| + |V|` terms.
+
+use crate::counts::TableCounts;
+use crate::graph::Graph;
+use nck_core::Program;
+use nck_qubo::Qubo;
+
+/// A Minimum Vertex Cover instance.
+#[derive(Clone, Debug)]
+pub struct MinVertexCover {
+    graph: Graph,
+}
+
+impl MinVertexCover {
+    /// Wrap a graph.
+    pub fn new(graph: Graph) -> Self {
+        MinVertexCover { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The NchooseK program: variable `v<i>` per vertex.
+    pub fn program(&self) -> Program {
+        let mut p = Program::new();
+        let vs = p
+            .new_vars("v", self.graph.num_vertices())
+            .expect("fresh names");
+        for &(u, w) in self.graph.edges() {
+            p.nck(vec![vs[u], vs[w]], [1, 2]).expect("edge constraint");
+        }
+        for &v in &vs {
+            p.nck_soft(vec![v], [0]).expect("vertex soft constraint");
+        }
+        p
+    }
+
+    /// The paper's handcrafted Hamiltonian with `A = 2, B = 1`.
+    pub fn handcrafted_qubo(&self) -> Qubo {
+        let a = 2.0;
+        let b = 1.0;
+        let mut q = Qubo::new(self.graph.num_vertices());
+        for &(u, v) in self.graph.edges() {
+            // A(1−x_u)(1−x_v) = A(1 − x_u − x_v + x_u x_v)
+            q.add_offset(a);
+            q.add_linear(u, -a);
+            q.add_linear(v, -a);
+            q.add_quadratic(u, v, a);
+        }
+        for v in 0..self.graph.num_vertices() {
+            q.add_linear(v, b);
+        }
+        q
+    }
+
+    /// Domain check: is the TRUE-set a vertex cover?
+    pub fn is_cover(&self, assignment: &[bool]) -> bool {
+        self.graph
+            .edges()
+            .iter()
+            .all(|&(u, v)| assignment[u] || assignment[v])
+    }
+
+    /// Cover size of an assignment.
+    pub fn cover_size(&self, assignment: &[bool]) -> usize {
+        assignment.iter().filter(|&&b| b).count()
+    }
+
+    /// Table I metrics.
+    pub fn counts(&self) -> TableCounts {
+        TableCounts::of(&self.program(), &self.handcrafted_qubo())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_graph() -> Graph {
+        // Figure 2: 5 vertices a..e, edges ab, ac, bc, cd, de.
+        Graph::new(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn program_shape_matches_paper() {
+        let mvc = MinVertexCover::new(paper_graph());
+        let p = mvc.program();
+        assert_eq!(p.num_hard(), 5); // |E|
+        assert_eq!(p.num_soft(), 5); // |V|
+        assert_eq!(p.num_nonsymmetric(), 2); // Table I row 3
+    }
+
+    #[test]
+    fn handcrafted_term_count() {
+        let mvc = MinVertexCover::new(paper_graph());
+        let q = mvc.handcrafted_qubo();
+        // 3|E| + |V| terms: |E| quadratic + per-vertex linear terms.
+        // Linear terms from edges merge with the B·x_v terms, so count
+        // quadratic and linear separately.
+        assert_eq!(q.num_interactions(), 5); // |E|
+        assert_eq!(q.num_terms(), 5 + 5); // every vertex touched + edges
+    }
+
+    #[test]
+    fn handcrafted_minimum_is_min_cover() {
+        let mvc = MinVertexCover::new(paper_graph());
+        let r = nck_qubo::solve_exhaustive(&mvc.handcrafted_qubo());
+        for &bits in &r.minimizers {
+            let x: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            assert!(mvc.is_cover(&x));
+            assert_eq!(mvc.cover_size(&x), 3, "minimum cover has 3 vertices");
+        }
+    }
+
+    #[test]
+    fn is_cover_checks() {
+        let mvc = MinVertexCover::new(paper_graph());
+        assert!(mvc.is_cover(&[true; 5]));
+        assert!(mvc.is_cover(&[false, true, true, true, false]));
+        assert!(!mvc.is_cover(&[false, false, true, true, false])); // misses ab
+        assert!(!mvc.is_cover(&[false; 5]));
+    }
+
+    #[test]
+    fn counts_scale_linearly() {
+        for k in 1..=4 {
+            let g = Graph::clique_chain(k);
+            let c = MinVertexCover::new(g.clone()).counts();
+            assert_eq!(c.nck_constraints, g.num_edges() + g.num_vertices());
+            assert_eq!(c.nonsymmetric, 2);
+        }
+    }
+}

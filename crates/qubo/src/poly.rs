@@ -1,0 +1,290 @@
+//! Higher-order binary polynomials and quadratization.
+//!
+//! Many natural penalty formulations are cubic or worse — e.g. the
+//! product form `(1−x)(1−y)(1−z)` of a 3-SAT clause — while both
+//! quantum backends consume *quadratic* models only. This module
+//! provides a pseudo-Boolean polynomial of arbitrary degree and the
+//! classic Rosenberg reduction (the role of Ocean's `make_quadratic`):
+//! repeatedly substitute a product `xᵢxⱼ` by a fresh auxiliary variable
+//! `z`, enforced by the penalty `M·(xᵢxⱼ − 2xᵢz − 2xⱼz + 3z)`, which is
+//! 0 when `z = xᵢxⱼ` and ≥ M otherwise.
+
+use crate::qubo::Qubo;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A pseudo-Boolean polynomial `Σ c_S · Π_{i∈S} xᵢ` over binary
+/// variables (the empty monomial is the constant term).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Poly {
+    num_vars: usize,
+    terms: BTreeMap<BTreeSet<usize>, f64>,
+}
+
+impl Poly {
+    /// The zero polynomial over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Poly { num_vars, terms: BTreeMap::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Add `c · Π xᵢ` for the distinct variables in `vars` (duplicates
+    /// collapse — `x² = x`). An empty slice adds a constant.
+    pub fn add_term(&mut self, vars: &[usize], c: f64) {
+        if c == 0.0 {
+            return;
+        }
+        let key: BTreeSet<usize> = vars.iter().copied().collect();
+        for &v in &key {
+            assert!(v < self.num_vars, "variable {v} out of range");
+        }
+        let e = self.terms.entry(key).or_insert(0.0);
+        *e += c;
+        if *e == 0.0 {
+            self.terms.remove(&vars.iter().copied().collect());
+        }
+    }
+
+    /// Highest monomial degree (0 for a constant/zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.terms.keys().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Number of nonzero monomials.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluate under a full assignment.
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert!(x.len() >= self.num_vars);
+        self.terms
+            .iter()
+            .map(|(s, &c)| if s.iter().all(|&v| x[v]) { c } else { 0.0 })
+            .sum()
+    }
+
+    /// Multiply in the factor `(k + Σ coeffs·x)` — convenient for
+    /// building product-form penalties like `(1−x)(1−y)(1−z)`.
+    pub fn multiply_linear(&mut self, terms: &[(usize, f64)], k: f64) {
+        let old = std::mem::take(&mut self.terms);
+        let mut out: BTreeMap<BTreeSet<usize>, f64> = BTreeMap::new();
+        let mut add = |key: BTreeSet<usize>, c: f64| {
+            if c != 0.0 {
+                let e = out.entry(key.clone()).or_insert(0.0);
+                *e += c;
+                if *e == 0.0 {
+                    out.remove(&key);
+                }
+            }
+        };
+        for (s, &c) in &old {
+            add(s.clone(), c * k);
+            for &(v, a) in terms {
+                let mut key = s.clone();
+                key.insert(v);
+                add(key, c * a);
+            }
+        }
+        self.terms = out;
+    }
+
+    /// The constant-1 polynomial (handy as a `multiply_linear` seed).
+    pub fn one(num_vars: usize) -> Self {
+        let mut p = Poly::new(num_vars);
+        p.add_term(&[], 1.0);
+        p
+    }
+
+    /// Iterate monomials as `(variables, coefficient)`.
+    pub fn terms(&self) -> impl Iterator<Item = (Vec<usize>, f64)> + '_ {
+        self.terms
+            .iter()
+            .map(|(s, &c)| (s.iter().copied().collect(), c))
+    }
+
+    /// Add another polynomial into this one.
+    pub fn add_assign(&mut self, other: &Poly) {
+        assert_eq!(self.num_vars, other.num_vars, "variable space mismatch");
+        for (vars, c) in other.terms() {
+            self.add_term(&vars, c);
+        }
+    }
+
+    /// Reduce to a QUBO by Rosenberg substitution. Returns the QUBO
+    /// (over the original variables followed by the auxiliaries) and
+    /// the substitution list `(i, j, z)` meaning `x_z := x_i·x_j`.
+    ///
+    /// For every assignment `x` of the original variables,
+    /// `min_z QUBO(x, z) = Poly(x)`, with the minimum attained at the
+    /// consistent auxiliary values.
+    pub fn quadratize(&self) -> (Qubo, Vec<(usize, usize, usize)>) {
+        // Penalty weight: must exceed any gain from breaking a
+        // substitution; the sum of |coefficients| + 1 is safely above.
+        let m: f64 = self.terms.values().map(|c| c.abs()).sum::<f64>() + 1.0;
+        let mut terms: Vec<(BTreeSet<usize>, f64)> =
+            self.terms.iter().map(|(s, &c)| (s.clone(), c)).collect();
+        let mut next_var = self.num_vars;
+        let mut subs: Vec<(usize, usize, usize)> = Vec::new();
+        loop {
+            // Most frequent pair among monomials of degree ≥ 3.
+            let mut counts: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+            for (s, _) in terms.iter().filter(|(s, _)| s.len() >= 3) {
+                let vs: Vec<usize> = s.iter().copied().collect();
+                for i in 0..vs.len() {
+                    for j in i + 1..vs.len() {
+                        *counts.entry((vs[i], vs[j])).or_insert(0) += 1;
+                    }
+                }
+            }
+            let Some((&(i, j), _)) = counts.iter().max_by_key(|(_, &c)| c) else {
+                break; // already quadratic
+            };
+            let z = next_var;
+            next_var += 1;
+            subs.push((i, j, z));
+            for (s, _) in terms.iter_mut() {
+                if s.len() >= 3 && s.contains(&i) && s.contains(&j) {
+                    s.remove(&i);
+                    s.remove(&j);
+                    s.insert(z);
+                }
+            }
+        }
+        let mut q = Qubo::new(next_var);
+        for (s, c) in &terms {
+            let vs: Vec<usize> = s.iter().copied().collect();
+            match vs.as_slice() {
+                [] => q.add_offset(*c),
+                [a] => q.add_linear(*a, *c),
+                [a, b] => q.add_quadratic(*a, *b, *c),
+                _ => unreachable!("reduction left a degree-{} monomial", vs.len()),
+            }
+        }
+        // Rosenberg penalties: M(x_i x_j − 2x_i z − 2x_j z + 3z).
+        for &(i, j, z) in &subs {
+            q.add_quadratic(i, j, m);
+            q.add_quadratic(i, z, -2.0 * m);
+            q.add_quadratic(j, z, -2.0 * m);
+            q.add_linear(z, 3.0 * m);
+        }
+        (q, subs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// min over auxiliaries of the quadratized QUBO equals the
+    /// polynomial, for every original assignment.
+    fn assert_quadratization_exact(p: &Poly) {
+        let (q, subs) = p.quadratize();
+        let n = p.num_vars();
+        let aux = q.num_vars() - n;
+        for bits in 0..1u64 << n {
+            let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let mut best = f64::INFINITY;
+            for zbits in 0..1u64 << aux {
+                let mut full = x.clone();
+                full.extend((0..aux).map(|k| zbits >> k & 1 == 1));
+                best = best.min(q.energy(&full));
+            }
+            assert!(
+                (best - p.energy(&x)).abs() < 1e-9,
+                "x={bits:b}: min QUBO {best} vs poly {} (subs {subs:?})",
+                p.energy(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_poly_needs_no_aux() {
+        let mut p = Poly::new(3);
+        p.add_term(&[0], 1.5);
+        p.add_term(&[0, 1], -2.0);
+        p.add_term(&[], 0.5);
+        let (q, subs) = p.quadratize();
+        assert!(subs.is_empty());
+        assert_eq!(q.num_vars(), 3);
+        assert_quadratization_exact(&p);
+    }
+
+    #[test]
+    fn cubic_term() {
+        let mut p = Poly::new(3);
+        p.add_term(&[0, 1, 2], 2.0);
+        p.add_term(&[1], -1.0);
+        assert_eq!(p.degree(), 3);
+        let (q, subs) = p.quadratize();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(q.num_vars(), 4);
+        assert_quadratization_exact(&p);
+    }
+
+    #[test]
+    fn negative_cubic_coefficient() {
+        let mut p = Poly::new(3);
+        p.add_term(&[0, 1, 2], -3.0);
+        p.add_term(&[0, 1], 1.0);
+        assert_quadratization_exact(&p);
+    }
+
+    #[test]
+    fn quartic_and_shared_pairs() {
+        let mut p = Poly::new(4);
+        p.add_term(&[0, 1, 2, 3], 1.0);
+        p.add_term(&[0, 1, 2], -2.0);
+        p.add_term(&[1, 2, 3], 0.5);
+        assert_eq!(p.degree(), 4);
+        assert_quadratization_exact(&p);
+    }
+
+    #[test]
+    fn product_form_clause_penalty() {
+        // (1−x)(1−y)(1−z): the cubic 3-SAT clause penalty — 1 iff all
+        // three are FALSE.
+        let mut p = Poly::one(3);
+        for v in 0..3 {
+            p.multiply_linear(&[(v, -1.0)], 1.0);
+        }
+        assert_eq!(p.degree(), 3);
+        for bits in 0..8u64 {
+            let x: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = if bits == 0 { 1.0 } else { 0.0 };
+            assert_eq!(p.energy(&x), expect, "at {bits:03b}");
+        }
+        assert_quadratization_exact(&p);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut p = Poly::new(2);
+        p.add_term(&[0, 0, 1], 2.0); // x0²x1 = x0x1
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.energy(&[true, true]), 2.0);
+    }
+
+    #[test]
+    fn term_cancellation() {
+        let mut p = Poly::new(2);
+        p.add_term(&[0, 1], 1.0);
+        p.add_term(&[1, 0], -1.0);
+        assert_eq!(p.num_terms(), 0);
+    }
+
+    #[test]
+    fn multiply_linear_expands() {
+        // (1 + x0)(2 − x1) = 2 − x1 + 2x0 − x0x1
+        let mut p = Poly::one(2);
+        p.multiply_linear(&[(0, 1.0)], 1.0);
+        p.multiply_linear(&[(1, -1.0)], 2.0);
+        assert_eq!(p.energy(&[false, false]), 2.0);
+        assert_eq!(p.energy(&[true, false]), 4.0);
+        assert_eq!(p.energy(&[false, true]), 1.0);
+        assert_eq!(p.energy(&[true, true]), 2.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Quadratic unconstrained binary optimization (QUBO) expressions.
+//!
+//! A QUBO is a function `f(x) = Σᵢ aᵢxᵢ + Σᵢ<ⱼ bᵢⱼxᵢxⱼ + c` over binary
+//! variables, minimized by the annealing and QAOA backends. QUBOs are
+//! compositional with respect to addition and closed under positive
+//! scaling — the two properties the NchooseK compiler exploits (§V of
+//! the paper).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A QUBO expression over `num_vars` binary variables.
+///
+/// Quadratic keys are always stored with `i < j`; a product `xᵢxᵢ` is
+/// folded into the linear term because `x² = x` for binary `x`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Qubo {
+    num_vars: usize,
+    linear: Vec<f64>,
+    quadratic: BTreeMap<(usize, usize), f64>,
+    offset: f64,
+}
+
+impl Qubo {
+    /// An identically-zero QUBO over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Qubo {
+            num_vars,
+            linear: vec![0.0; num_vars],
+            quadratic: BTreeMap::new(),
+            offset: 0.0,
+        }
+    }
+
+    /// Number of variables (including ones with zero coefficient).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Grow the variable count (new variables get zero coefficients).
+    pub fn grow(&mut self, num_vars: usize) {
+        if num_vars > self.num_vars {
+            self.linear.resize(num_vars, 0.0);
+            self.num_vars = num_vars;
+        }
+    }
+
+    /// Add `c·xᵢ`.
+    pub fn add_linear(&mut self, i: usize, c: f64) {
+        assert!(i < self.num_vars, "variable {i} out of range");
+        self.linear[i] += c;
+    }
+
+    /// Add `c·xᵢxⱼ`. `i == j` folds into the linear term (`x² = x`).
+    pub fn add_quadratic(&mut self, i: usize, j: usize, c: f64) {
+        assert!(
+            i < self.num_vars && j < self.num_vars,
+            "variable pair ({i},{j}) out of range"
+        );
+        if i == j {
+            self.linear[i] += c;
+            return;
+        }
+        let key = (i.min(j), i.max(j));
+        let e = self.quadratic.entry(key).or_insert(0.0);
+        *e += c;
+        if *e == 0.0 {
+            self.quadratic.remove(&key);
+        }
+    }
+
+    /// Add a constant offset.
+    pub fn add_offset(&mut self, c: f64) {
+        self.offset += c;
+    }
+
+    /// The constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Linear coefficient of `xᵢ`.
+    pub fn linear(&self, i: usize) -> f64 {
+        self.linear[i]
+    }
+
+    /// Quadratic coefficient of `xᵢxⱼ` (0 if absent).
+    pub fn quadratic(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        self.quadratic
+            .get(&(i.min(j), i.max(j)))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Iterate nonzero quadratic terms as `((i, j), coeff)` with `i < j`.
+    pub fn quadratic_terms(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.quadratic.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterate nonzero linear terms as `(i, coeff)`.
+    pub fn linear_terms(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.linear
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Number of nonzero terms (linear + quadratic), the paper's "QUBO
+    /// terms" metric from Table I.
+    pub fn num_terms(&self) -> usize {
+        self.linear.iter().filter(|&&c| c != 0.0).count() + self.quadratic.len()
+    }
+
+    /// Number of nonzero quadratic couplings.
+    pub fn num_interactions(&self) -> usize {
+        self.quadratic.len()
+    }
+
+    /// Add the expansion of `(k + Σ coeffs·x)²`, using `x² = x`.
+    ///
+    /// This is the building block of every handcrafted Hamiltonian in
+    /// the paper's §VI (e.g. the exact-cover `Σ (1 − Σ xᵢ)²`).
+    pub fn add_square_of_linear(&mut self, terms: &[(usize, f64)], k: f64) {
+        self.add_offset(k * k);
+        for &(i, a) in terms {
+            // cross term with the constant plus the x² = x fold
+            self.add_linear(i, 2.0 * k * a + a * a);
+        }
+        for (idx, &(i, a)) in terms.iter().enumerate() {
+            for &(j, b) in &terms[idx + 1..] {
+                self.add_quadratic(i, j, 2.0 * a * b);
+            }
+        }
+    }
+
+    /// Multiply every coefficient (and the offset) by `k`.
+    ///
+    /// Scaling by a positive factor preserves the set of minimizing
+    /// assignments — the property used to weight hard constraints above
+    /// soft ones.
+    pub fn scale(&mut self, k: f64) {
+        for c in &mut self.linear {
+            *c *= k;
+        }
+        for c in self.quadratic.values_mut() {
+            *c *= k;
+        }
+        self.offset *= k;
+        if k == 0.0 {
+            self.quadratic.clear();
+        }
+    }
+
+    /// Evaluate the energy of a full assignment.
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.num_vars, "assignment length mismatch");
+        let mut e = self.offset;
+        for (i, &c) in self.linear.iter().enumerate() {
+            if x[i] {
+                e += c;
+            }
+        }
+        for (&(i, j), &c) in &self.quadratic {
+            if x[i] && x[j] {
+                e += c;
+            }
+        }
+        e
+    }
+
+    /// Evaluate the energy of an assignment packed into the low bits of
+    /// a `u64` (bit `i` = variable `i`). Usable for up to 64 variables.
+    pub fn energy_bits(&self, x: u64) -> f64 {
+        debug_assert!(self.num_vars <= 64);
+        let mut e = self.offset;
+        for (i, &c) in self.linear.iter().enumerate() {
+            if x >> i & 1 == 1 {
+                e += c;
+            }
+        }
+        for (&(i, j), &c) in &self.quadratic {
+            if x >> i & 1 == 1 && x >> j & 1 == 1 {
+                e += c;
+            }
+        }
+        e
+    }
+
+    /// Add `other` into `self` with its variable `v` mapped to
+    /// `mapping[v]` of `self`. This is how per-constraint QUBOs over
+    /// local variables are summed into the program QUBO over global
+    /// variables.
+    pub fn add_mapped(&mut self, other: &Qubo, mapping: &[usize]) {
+        assert_eq!(mapping.len(), other.num_vars, "mapping length mismatch");
+        self.offset += other.offset;
+        for (i, c) in other.linear_terms() {
+            self.add_linear(mapping[i], c);
+        }
+        for ((i, j), c) in other.quadratic_terms() {
+            let (mi, mj) = (mapping[i], mapping[j]);
+            assert_ne!(mi, mj, "mapping identifies the distinct variables {i} and {j}");
+            self.add_quadratic(mi, mj, c);
+        }
+    }
+
+    /// Adjacency lists induced by the quadratic terms (used by the
+    /// minor embedder and the QAOA circuit builder).
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.num_vars];
+        for &(i, j) in self.quadratic.keys() {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        adj
+    }
+
+    /// Largest absolute coefficient (linear or quadratic), 0 for the
+    /// zero QUBO. Used for chain-strength heuristics.
+    pub fn max_abs_coeff(&self) -> f64 {
+        let lin = self.linear.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+        let quad = self.quadratic.values().fold(0.0f64, |m, c| m.max(c.abs()));
+        lin.max(quad)
+    }
+}
+
+impl AddAssign<&Qubo> for Qubo {
+    fn add_assign(&mut self, other: &Qubo) {
+        self.grow(other.num_vars);
+        self.offset += other.offset;
+        for (i, c) in other.linear_terms() {
+            self.linear[i] += c;
+        }
+        for ((i, j), c) in other.quadratic_terms() {
+            self.add_quadratic(i, j, c);
+        }
+    }
+}
+
+impl Add for &Qubo {
+    type Output = Qubo;
+    fn add(self, other: &Qubo) -> Qubo {
+        let mut out = self.clone();
+        out += other;
+        out
+    }
+}
+
+impl fmt::Display for Qubo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut write_term = |f: &mut fmt::Formatter<'_>, c: f64, label: &str| {
+            if c == 0.0 {
+                return Ok(());
+            }
+            if first {
+                first = false;
+                if label.is_empty() {
+                    write!(f, "{c}")
+                } else if c == 1.0 {
+                    write!(f, "{label}")
+                } else if c == -1.0 {
+                    write!(f, "-{label}")
+                } else {
+                    write!(f, "{c}*{label}")
+                }
+            } else {
+                let sign = if c < 0.0 { " - " } else { " + " };
+                let a = c.abs();
+                if label.is_empty() {
+                    write!(f, "{sign}{a}")
+                } else if a == 1.0 {
+                    write!(f, "{sign}{label}")
+                } else {
+                    write!(f, "{sign}{a}*{label}")
+                }
+            }
+        };
+        for (i, c) in self.linear_terms() {
+            write_term(f, c, &format!("x{i}"))?;
+        }
+        for ((i, j), c) in self.quadratic_terms() {
+            write_term(f, c, &format!("x{i}*x{j}"))?;
+        }
+        write_term(f, self.offset, "")?;
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_qubo_energy() {
+        let q = Qubo::new(3);
+        assert_eq!(q.energy(&[true, false, true]), 0.0);
+        assert_eq!(q.num_terms(), 0);
+    }
+
+    #[test]
+    fn linear_and_quadratic_energy() {
+        let mut q = Qubo::new(2);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, -1.0);
+        q.add_quadratic(0, 1, 1.0);
+        // f = ab - a - b (the paper's vertex-cover edge QUBO, §V)
+        assert_eq!(q.energy(&[false, false]), 0.0);
+        assert_eq!(q.energy(&[true, false]), -1.0);
+        assert_eq!(q.energy(&[false, true]), -1.0);
+        assert_eq!(q.energy(&[true, true]), -1.0);
+    }
+
+    #[test]
+    fn square_fold_into_linear() {
+        let mut q = Qubo::new(1);
+        q.add_quadratic(0, 0, 2.0);
+        assert_eq!(q.linear(0), 2.0);
+        assert_eq!(q.num_interactions(), 0);
+    }
+
+    #[test]
+    fn quadratic_key_symmetry() {
+        let mut q = Qubo::new(3);
+        q.add_quadratic(2, 0, 1.5);
+        assert_eq!(q.quadratic(0, 2), 1.5);
+        assert_eq!(q.quadratic(2, 0), 1.5);
+        q.add_quadratic(0, 2, -1.5);
+        assert_eq!(q.num_interactions(), 0); // cancelled term removed
+    }
+
+    #[test]
+    fn square_of_linear_matches_direct_expansion() {
+        // (1 - x0 - x1)^2 = 1 - x0 - x1 + 2 x0 x1  (binary x)
+        let mut q = Qubo::new(2);
+        q.add_square_of_linear(&[(0, -1.0), (1, -1.0)], 1.0);
+        for bits in 0..4u64 {
+            let x = [bits & 1 == 1, bits >> 1 & 1 == 1];
+            let s = 1.0 - (x[0] as i64 as f64) - (x[1] as i64 as f64);
+            assert_eq!(q.energy(&x), s * s, "mismatch at {x:?}");
+        }
+    }
+
+    #[test]
+    fn composition_is_pointwise_addition() {
+        let mut a = Qubo::new(2);
+        a.add_linear(0, 1.0);
+        a.add_quadratic(0, 1, 2.0);
+        let mut b = Qubo::new(3);
+        b.add_linear(2, -1.0);
+        b.add_offset(0.5);
+        let c = &a + &b;
+        assert_eq!(c.num_vars(), 3);
+        for bits in 0..8u64 {
+            let x: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let ea = a.energy(&x[..2]);
+            assert_eq!(c.energy(&x), ea + b.energy(&x));
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_argmin() {
+        let mut q = Qubo::new(2);
+        q.add_linear(0, -1.0);
+        q.add_quadratic(0, 1, 3.0);
+        let mut s = q.clone();
+        s.scale(7.0);
+        for bits in 0..4u64 {
+            assert_eq!(s.energy_bits(bits), 7.0 * q.energy_bits(bits));
+        }
+    }
+
+    #[test]
+    fn add_mapped_relabels() {
+        // local QUBO over (y0, y1), mapped to globals (3, 1)
+        let mut local = Qubo::new(2);
+        local.add_linear(0, 2.0);
+        local.add_quadratic(0, 1, -1.0);
+        let mut global = Qubo::new(4);
+        global.add_mapped(&local, &[3, 1]);
+        assert_eq!(global.linear(3), 2.0);
+        assert_eq!(global.quadratic(1, 3), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identifies the distinct variables")]
+    fn add_mapped_rejects_collapsing_quadratic() {
+        let mut local = Qubo::new(2);
+        local.add_quadratic(0, 1, 1.0);
+        let mut global = Qubo::new(2);
+        global.add_mapped(&local, &[1, 1]);
+    }
+
+    #[test]
+    fn energy_bits_matches_energy() {
+        let mut q = Qubo::new(4);
+        q.add_linear(1, 0.5);
+        q.add_linear(3, -2.0);
+        q.add_quadratic(0, 3, 1.25);
+        q.add_offset(3.0);
+        for bits in 0..16u64 {
+            let x: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(q.energy(&x), q.energy_bits(bits));
+        }
+    }
+
+    #[test]
+    fn adjacency_from_quadratic() {
+        let mut q = Qubo::new(3);
+        q.add_quadratic(0, 1, 1.0);
+        q.add_quadratic(1, 2, 1.0);
+        let adj = q.adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+    }
+
+    #[test]
+    fn max_abs_coeff() {
+        let mut q = Qubo::new(2);
+        q.add_linear(0, -3.0);
+        q.add_quadratic(0, 1, 2.0);
+        assert_eq!(q.max_abs_coeff(), 3.0);
+        assert_eq!(Qubo::new(1).max_abs_coeff(), 0.0);
+    }
+
+    #[test]
+    fn display_readable() {
+        let mut q = Qubo::new(2);
+        q.add_linear(0, 1.0);
+        q.add_linear(1, -1.0);
+        q.add_quadratic(0, 1, -2.0);
+        q.add_offset(4.0);
+        assert_eq!(format!("{q}"), "x0 - x1 - 2*x0*x1 + 4");
+        assert_eq!(format!("{}", Qubo::new(1)), "0");
+    }
+}

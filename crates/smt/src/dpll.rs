@@ -1,0 +1,315 @@
+//! DPLL-style search over disjunctions of linear-arithmetic constraints.
+//!
+//! The QUBO coefficient search needs formulas of the shape
+//!
+//! ```text
+//! (conjunction of linear constraints)
+//!   ∧  ⋀_groups ( alt₁ ∨ alt₂ ∨ … )     where each altᵢ is a conjunction
+//! ```
+//!
+//! — "for every satisfying assignment, *some* ancilla setting attains the
+//! ground energy". This is the QF_LRA fragment Z3 solves for the paper's
+//! compiler. We solve it with a depth-first search over one alternative
+//! per group, using the exact simplex ([`crate::simplex`]) as the theory
+//! oracle at every node, with witness-guided alternative ordering.
+
+use crate::linexpr::{LinConstraint, LinExpr};
+use crate::rational::Rational;
+use crate::simplex::{LpProblem, LpResult};
+
+/// A conjunction of linear constraints plus disjunction groups, each of
+/// which must have at least one satisfied alternative.
+#[derive(Clone, Debug, Default)]
+pub struct DisjunctiveProblem {
+    num_vars: usize,
+    hard: Vec<LinConstraint>,
+    groups: Vec<Vec<Vec<LinConstraint>>>,
+}
+
+/// Search statistics for reporting and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of LP feasibility checks performed.
+    pub lp_calls: u64,
+    /// Number of branches abandoned as infeasible.
+    pub backtracks: u64,
+}
+
+impl DisjunctiveProblem {
+    /// Create a problem over `num_vars` free rational variables.
+    pub fn new(num_vars: usize) -> Self {
+        DisjunctiveProblem { num_vars, hard: Vec::new(), groups: Vec::new() }
+    }
+
+    /// Number of free variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Add a constraint that must always hold.
+    pub fn require(&mut self, c: LinConstraint) {
+        self.hard.push(c);
+    }
+
+    /// Add a disjunction group: at least one alternative (a conjunction
+    /// of constraints) must hold. An empty alternative list makes the
+    /// problem unsatisfiable; an empty alternative is trivially true.
+    pub fn require_any(&mut self, alternatives: Vec<Vec<LinConstraint>>) {
+        self.groups.push(alternatives);
+    }
+
+    /// Solve; returns a witness assignment if satisfiable.
+    pub fn solve(&self) -> Option<Vec<Rational>> {
+        self.solve_with_stats().0
+    }
+
+    /// Solve, then polish the witness by minimizing `objective` within
+    /// the satisfied branch (the chosen alternatives are kept fixed;
+    /// this is a local optimum across branches, which is what the QUBO
+    /// compiler wants — any valid table, with small coefficients).
+    pub fn solve_minimizing(&self, objective: &LinExpr) -> Option<Vec<Rational>> {
+        let mut stats = SearchStats::default();
+        let root = self.check(&[], &mut stats)?;
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        order.sort_by_key(|&g| self.groups[g].len());
+        let mut branch: Vec<(usize, usize)> = Vec::with_capacity(order.len());
+        if !self.search_recording(&order, 0, &mut branch, root, &mut stats) {
+            return None;
+        }
+        let mut lp = LpProblem::new(self.num_vars);
+        for c in &self.hard {
+            lp.add(c.clone());
+        }
+        for &(g, a) in &branch {
+            for c in &self.groups[g][a] {
+                lp.add(c.clone());
+            }
+        }
+        match lp.minimize(objective) {
+            LpResult::Feasible(w) => Some(w),
+            LpResult::Infeasible => None,
+        }
+    }
+
+    /// Like `search`, but leaves the winning branch in `chosen` and
+    /// returns success instead of the witness.
+    fn search_recording(
+        &self,
+        order: &[usize],
+        depth: usize,
+        chosen: &mut Vec<(usize, usize)>,
+        witness: Vec<Rational>,
+        stats: &mut SearchStats,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let g = order[depth];
+        let alts = &self.groups[g];
+        let mut alt_order: Vec<usize> = (0..alts.len()).collect();
+        alt_order.sort_by_key(|&a| {
+            let sat = alts[a].iter().all(|c| c.holds(&witness));
+            usize::from(!sat)
+        });
+        for a in alt_order {
+            chosen.push((g, a));
+            if let Some(w) = self.check(chosen, stats) {
+                if self.search_recording(order, depth + 1, chosen, w, stats) {
+                    return true;
+                }
+            } else {
+                stats.backtracks += 1;
+            }
+            chosen.pop();
+        }
+        false
+    }
+
+    /// Solve, also returning search statistics.
+    pub fn solve_with_stats(&self) -> (Option<Vec<Rational>>, SearchStats) {
+        let mut stats = SearchStats::default();
+        // Root feasibility on the hard constraints alone.
+        let Some(witness) = self.check(&[], &mut stats) else {
+            stats.backtracks += 1;
+            return (None, stats);
+        };
+        // Branch on groups with the fewest alternatives first: smaller
+        // fan-out near the root keeps the tree narrow.
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        order.sort_by_key(|&g| self.groups[g].len());
+        let mut chosen: Vec<(usize, usize)> = Vec::with_capacity(order.len());
+        let result = self.search(&order, 0, &mut chosen, witness, &mut stats);
+        (result, stats)
+    }
+
+    fn search(
+        &self,
+        order: &[usize],
+        depth: usize,
+        chosen: &mut Vec<(usize, usize)>,
+        witness: Vec<Rational>,
+        stats: &mut SearchStats,
+    ) -> Option<Vec<Rational>> {
+        if depth == order.len() {
+            return Some(witness);
+        }
+        let g = order[depth];
+        let alts = &self.groups[g];
+        // Witness guidance: try alternatives the current witness already
+        // satisfies first — they are very likely to stay feasible.
+        let mut alt_order: Vec<usize> = (0..alts.len()).collect();
+        alt_order.sort_by_key(|&a| {
+            let sat = alts[a].iter().all(|c| c.holds(&witness));
+            usize::from(!sat)
+        });
+        for a in alt_order {
+            chosen.push((g, a));
+            if let Some(w) = self.check(chosen, stats) {
+                if let Some(res) = self.search(order, depth + 1, chosen, w, stats) {
+                    return Some(res);
+                }
+            } else {
+                stats.backtracks += 1;
+            }
+            chosen.pop();
+        }
+        None
+    }
+
+    /// LP feasibility of hard constraints plus the chosen alternatives.
+    fn check(&self, chosen: &[(usize, usize)], stats: &mut SearchStats) -> Option<Vec<Rational>> {
+        stats.lp_calls += 1;
+        let mut lp = LpProblem::new(self.num_vars);
+        for c in &self.hard {
+            lp.add(c.clone());
+        }
+        for &(g, a) in chosen {
+            for c in &self.groups[g][a] {
+                lp.add(c.clone());
+            }
+        }
+        match lp.feasible() {
+            LpResult::Feasible(w) => Some(w),
+            LpResult::Infeasible => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::{LinExpr, Relation};
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    /// `Σ coeffs·x + c (rel) 0`
+    fn con(coeffs: &[(usize, i64)], c: i64, rel: Relation) -> LinConstraint {
+        let mut e = LinExpr::constant(r(c));
+        for &(x, co) in coeffs {
+            e.add_term(x, r(co));
+        }
+        LinConstraint::new(e, rel)
+    }
+
+    #[test]
+    fn no_groups_is_plain_lp() {
+        let mut p = DisjunctiveProblem::new(1);
+        p.require(con(&[(0, 1)], -2, Relation::Eq)); // x = 2
+        let w = p.solve().unwrap();
+        assert_eq!(w[0], r(2));
+    }
+
+    #[test]
+    fn picks_feasible_alternative() {
+        let mut p = DisjunctiveProblem::new(1);
+        p.require(con(&[(0, 1)], -1, Relation::Ge)); // x >= 1
+        // x = 0  OR  x = 5
+        p.require_any(vec![
+            vec![con(&[(0, 1)], 0, Relation::Eq)],
+            vec![con(&[(0, 1)], -5, Relation::Eq)],
+        ]);
+        let w = p.solve().unwrap();
+        assert_eq!(w[0], r(5));
+    }
+
+    #[test]
+    fn unsat_when_all_alternatives_conflict() {
+        let mut p = DisjunctiveProblem::new(1);
+        p.require(con(&[(0, 1)], -10, Relation::Ge)); // x >= 10
+        p.require_any(vec![
+            vec![con(&[(0, 1)], 0, Relation::Eq)],
+            vec![con(&[(0, 1)], -5, Relation::Eq)],
+        ]);
+        assert_eq!(p.solve(), None);
+    }
+
+    #[test]
+    fn empty_alternative_list_is_unsat() {
+        let mut p = DisjunctiveProblem::new(1);
+        p.require_any(vec![]);
+        assert_eq!(p.solve(), None);
+    }
+
+    #[test]
+    fn empty_alternative_is_trivially_true() {
+        let mut p = DisjunctiveProblem::new(1);
+        p.require(con(&[(0, 1)], -3, Relation::Eq));
+        p.require_any(vec![vec![]]);
+        let w = p.solve().unwrap();
+        assert_eq!(w[0], r(3));
+    }
+
+    #[test]
+    fn cross_group_interaction_requires_backtracking() {
+        // x in {0, 5} and x in {5, 9}, plus x >= 1  =>  x = 5.
+        // Witness guidance may first try x = 0 in group 1; the search
+        // must backtrack through group choices to find the intersection.
+        let mut p = DisjunctiveProblem::new(1);
+        p.require(con(&[(0, 1)], -1, Relation::Ge));
+        p.require_any(vec![
+            vec![con(&[(0, 1)], 0, Relation::Eq)],
+            vec![con(&[(0, 1)], -5, Relation::Eq)],
+        ]);
+        p.require_any(vec![
+            vec![con(&[(0, 1)], -9, Relation::Eq)],
+            vec![con(&[(0, 1)], -5, Relation::Eq)],
+        ]);
+        let (w, stats) = p.solve_with_stats();
+        assert_eq!(w.unwrap()[0], r(5));
+        assert!(stats.lp_calls >= 3);
+    }
+
+    #[test]
+    fn multi_variable_groups() {
+        // y = x + 1; (x = 0 ∧ y = 1) OR (x = 2 ∧ y = 0)
+        let mut p = DisjunctiveProblem::new(2);
+        p.require(con(&[(1, 1), (0, -1)], -1, Relation::Eq));
+        p.require_any(vec![
+            vec![
+                con(&[(0, 1)], 0, Relation::Eq),
+                con(&[(1, 1)], -1, Relation::Eq),
+            ],
+            vec![
+                con(&[(0, 1)], -2, Relation::Eq),
+                con(&[(1, 1)], 0, Relation::Eq),
+            ],
+        ]);
+        let w = p.solve().unwrap();
+        assert_eq!(w, vec![r(0), r(1)]);
+    }
+
+    #[test]
+    fn stats_count_backtracks() {
+        let mut p = DisjunctiveProblem::new(1);
+        p.require(con(&[(0, 1)], -10, Relation::Ge));
+        p.require_any(vec![
+            vec![con(&[(0, 1)], 0, Relation::Eq)],
+            vec![con(&[(0, 1)], -5, Relation::Eq)],
+        ]);
+        let (res, stats) = p.solve_with_stats();
+        assert!(res.is_none());
+        assert!(stats.backtracks >= 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # nck-smt
+//!
+//! Exact arithmetic and a small satisfiability-modulo-linear-arithmetic
+//! solver. This crate is the substrate that replaces the Z3 SMT solver
+//! in the NchooseK paper's QUBO compiler: per-constraint QUBO
+//! coefficients are found by solving a system of exact linear
+//! (in)equalities with disjunctions over ancilla-variable settings.
+//!
+//! Layers, bottom to top:
+//!
+//! * [`bigint::BigInt`] — arbitrary-precision signed integers.
+//! * [`rational::Rational`] — normalized exact rationals.
+//! * [`linexpr`] — linear expressions and constraints over rational
+//!   variables.
+//! * [`simplex`] — exact two-phase primal simplex (Bland's rule), used
+//!   for feasibility with witness extraction.
+//! * [`dpll`] — depth-first search over disjunction groups with the
+//!   simplex as theory oracle (a miniature DPLL(LRA)).
+//!
+//! All reasoning is exact; `f64` appears only in lossy reporting
+//! conversions.
+
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod dpll;
+pub mod linexpr;
+pub mod rational;
+pub mod simplex;
+
+pub use bigint::BigInt;
+pub use dpll::{DisjunctiveProblem, SearchStats};
+pub use linexpr::{LinConstraint, LinExpr, Relation};
+pub use rational::Rational;
+pub use simplex::{LpProblem, LpResult};

@@ -1,0 +1,221 @@
+//! Linear expressions over numbered rational variables.
+
+use crate::rational::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A linear expression `Σ cᵢ·xᵢ + constant` over variables identified
+/// by `usize` indices. Terms are kept sorted and coalesced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinExpr {
+    terms: BTreeMap<usize, Rational>,
+    constant: Rational,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: Rational::zero() }
+    }
+
+    /// A constant expression.
+    pub fn constant(c: Rational) -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// The expression `1·x`.
+    pub fn var(x: usize) -> Self {
+        let mut e = LinExpr::zero();
+        e.add_term(x, Rational::one());
+        e
+    }
+
+    /// Add `coeff·x` to the expression, coalescing with any existing term.
+    pub fn add_term(&mut self, x: usize, coeff: Rational) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(x).or_insert_with(Rational::zero);
+        *entry += &coeff;
+        if entry.is_zero() {
+            self.terms.remove(&x);
+        }
+    }
+
+    /// Add a constant to the expression.
+    pub fn add_constant(&mut self, c: &Rational) {
+        self.constant += c;
+    }
+
+    /// Add another expression scaled by `k`.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: &Rational) {
+        if k.is_zero() {
+            return;
+        }
+        for (&x, c) in &other.terms {
+            self.add_term(x, c * k);
+        }
+        self.constant += &(&other.constant * k);
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> &Rational {
+        &self.constant
+    }
+
+    /// Iterate over `(variable, coefficient)` terms in index order.
+    pub fn terms(&self) -> impl Iterator<Item = (usize, &Rational)> {
+        self.terms.iter().map(|(&x, c)| (x, c))
+    }
+
+    /// Number of variables with nonzero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.terms.keys().next_back().copied()
+    }
+
+    /// Evaluate the expression under a full assignment.
+    pub fn eval(&self, assignment: &[Rational]) -> Rational {
+        let mut v = self.constant.clone();
+        for (&x, c) in &self.terms {
+            v += &(c * &assignment[x]);
+        }
+        v
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (&x, c) in &self.terms {
+            if first {
+                write!(f, "{c}*x{x}")?;
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - {}*x{x}", c.abs())?;
+            } else {
+                write!(f, " + {c}*x{x}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if !self.constant.is_zero() {
+            if self.constant.is_negative() {
+                write!(f, " - {}", self.constant.abs())?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Comparison relation of a linear constraint against zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr ≤ 0`
+    Le,
+    /// `expr = 0`
+    Eq,
+    /// `expr ≥ 0`
+    Ge,
+}
+
+/// A linear constraint `expr (rel) 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinConstraint {
+    /// Left-hand side, compared against zero.
+    pub expr: LinExpr,
+    /// The comparison relation.
+    pub rel: Relation,
+}
+
+impl LinConstraint {
+    /// Build `expr (rel) 0`.
+    pub fn new(expr: LinExpr, rel: Relation) -> Self {
+        LinConstraint { expr, rel }
+    }
+
+    /// True iff the constraint holds under `assignment`.
+    pub fn holds(&self, assignment: &[Rational]) -> bool {
+        let v = self.expr.eval(assignment);
+        match self.rel {
+            Relation::Le => !v.is_positive(),
+            Relation::Eq => v.is_zero(),
+            Relation::Ge => !v.is_negative(),
+        }
+    }
+}
+
+impl fmt::Display for LinConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.rel {
+            Relation::Le => "<=",
+            Relation::Eq => "==",
+            Relation::Ge => ">=",
+        };
+        write!(f, "{} {op} 0", self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    #[test]
+    fn terms_coalesce() {
+        let mut e = LinExpr::var(3);
+        e.add_term(3, r(2, 1));
+        e.add_term(1, r(1, 2));
+        assert_eq!(e.num_terms(), 2);
+        e.add_term(3, r(-3, 1));
+        assert_eq!(e.num_terms(), 1); // x3 coefficient hit zero
+    }
+
+    #[test]
+    fn eval_with_constant() {
+        let mut e = LinExpr::constant(r(5, 1));
+        e.add_term(0, r(2, 1));
+        e.add_term(1, r(-1, 1));
+        let v = e.eval(&[r(3, 1), r(4, 1)]);
+        assert_eq!(v, r(7, 1)); // 2*3 - 4 + 5
+    }
+
+    #[test]
+    fn add_scaled_merges() {
+        let mut a = LinExpr::var(0);
+        let mut b = LinExpr::var(0);
+        b.add_term(1, r(3, 1));
+        b.add_constant(&r(1, 1));
+        a.add_scaled(&b, &r(2, 1));
+        assert_eq!(a.eval(&[r(1, 1), r(1, 1)]), r(11, 1)); // 1 + 2*(1+3+1)
+    }
+
+    #[test]
+    fn constraint_holds() {
+        // x0 - 3 >= 0
+        let mut e = LinExpr::var(0);
+        e.add_constant(&r(-3, 1));
+        let c = LinConstraint::new(e, Relation::Ge);
+        assert!(c.holds(&[r(3, 1)]));
+        assert!(c.holds(&[r(4, 1)]));
+        assert!(!c.holds(&[r(2, 1)]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut e = LinExpr::var(0);
+        e.add_term(2, r(-1, 2));
+        e.add_constant(&r(-3, 1));
+        let c = LinConstraint::new(e, Relation::Le);
+        assert_eq!(format!("{c}"), "1*x0 - 1/2*x2 - 3 <= 0");
+    }
+}

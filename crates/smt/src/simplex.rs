@@ -1,0 +1,491 @@
+//! Exact two-phase primal simplex over rationals.
+//!
+//! Used as the theory solver of the DPLL search in [`crate::dpll`]:
+//! every node asks "is this conjunction of linear constraints over the
+//! reals feasible, and if so give me a witness". Exact arithmetic with
+//! Bland's anti-cycling rule makes both answers trustworthy, which is
+//! what lets the QUBO compiler *prove* its coefficient tables correct.
+
+use crate::linexpr::{LinConstraint, LinExpr, Relation};
+use crate::rational::Rational;
+
+/// Result of an LP solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpResult {
+    /// A witness assignment for the original (free) variables.
+    Feasible(Vec<Rational>),
+    /// No assignment satisfies the constraints.
+    Infeasible,
+}
+
+/// A feasibility/optimization problem over `num_vars` free rational
+/// variables.
+#[derive(Clone, Debug, Default)]
+pub struct LpProblem {
+    num_vars: usize,
+    constraints: Vec<LinConstraint>,
+}
+
+impl LpProblem {
+    /// Create a problem over `num_vars` free variables.
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem { num_vars, constraints: Vec::new() }
+    }
+
+    /// Number of free variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Add a constraint. Panics if it mentions a variable out of range.
+    pub fn add(&mut self, c: LinConstraint) {
+        if let Some(m) = c.expr.max_var() {
+            assert!(m < self.num_vars, "constraint mentions variable {m} out of range");
+        }
+        self.constraints.push(c);
+    }
+
+    /// Solve for feasibility. Returns a witness on success.
+    pub fn feasible(&self) -> LpResult {
+        match Tableau::build(self).phase1() {
+            Phase1::Feasible(t) => LpResult::Feasible(t.witness()),
+            Phase1::Infeasible => LpResult::Infeasible,
+        }
+    }
+
+    /// Minimize a linear `objective` subject to the constraints.
+    /// Returns an optimal witness; on an unbounded objective, returns
+    /// the current feasible witness (callers here only minimize
+    /// norm-like objectives that are bounded below).
+    pub fn minimize(&self, objective: &LinExpr) -> LpResult {
+        if let Some(m) = objective.max_var() {
+            assert!(m < self.num_vars, "objective mentions variable {m} out of range");
+        }
+        match Tableau::build(self).phase1() {
+            Phase1::Feasible(mut t) => {
+                t.phase2(objective);
+                LpResult::Feasible(t.witness())
+            }
+            Phase1::Infeasible => LpResult::Infeasible,
+        }
+    }
+}
+
+/// Internal phase-1 outcome.
+enum Phase1 {
+    Feasible(Tableau),
+    Infeasible,
+}
+
+/// Dense simplex tableau. Free variables are split `x = p − n` with
+/// `p, n ≥ 0`; every row gets an artificial variable for phase 1.
+struct Tableau {
+    /// rows[r] has `ncols` structural coefficients followed by the rhs.
+    rows: Vec<Vec<Rational>>,
+    /// Column index that is basic in each row.
+    basis: Vec<usize>,
+    /// Total structural columns (split vars + slacks + artificials).
+    ncols: usize,
+    /// First artificial column index.
+    art_start: usize,
+    /// Number of original free variables.
+    num_free: usize,
+}
+
+impl Tableau {
+    fn build(p: &LpProblem) -> Tableau {
+        let nv = p.num_vars;
+        let m = p.constraints.len();
+        // Columns: [p0..p(nv-1) | n0..n(nv-1) | slacks | artificials]
+        let nslack = p
+            .constraints
+            .iter()
+            .filter(|c| c.rel != Relation::Eq)
+            .count();
+        let art_start = 2 * nv + nslack;
+        let ncols = art_start + m;
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut slack_idx = 2 * nv;
+        for (r, c) in p.constraints.iter().enumerate() {
+            let mut row = vec![Rational::zero(); ncols + 1];
+            for (x, coeff) in c.expr.terms() {
+                row[x] = coeff.clone();
+                row[nv + x] = -coeff;
+            }
+            // expr (rel) 0  =>  Σ a·x (rel) −constant
+            let mut rhs = -c.expr.constant_part();
+            match c.rel {
+                Relation::Le => {
+                    row[slack_idx] = Rational::one();
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    row[slack_idx] = -Rational::one();
+                    slack_idx += 1;
+                }
+                Relation::Eq => {}
+            }
+            if rhs.is_negative() {
+                for v in row.iter_mut() {
+                    *v = -&*v;
+                }
+                rhs = -rhs;
+            }
+            row[ncols] = rhs;
+            row[art_start + r] = Rational::one();
+            rows.push(row);
+            basis.push(art_start + r);
+        }
+        Tableau { rows, basis, ncols, art_start, num_free: nv }
+    }
+
+    /// Phase-1 simplex: minimize the sum of artificial variables.
+    #[allow(clippy::needless_range_loop)] // tableau columns are index-coupled
+    fn phase1(mut self) -> Phase1 {
+        // Reduced-cost row for cost vector c (1 on artificials, 0 else),
+        // relative to the artificial basis: z[j] = c[j] − Σ_r rows[r][j].
+        let mut z = vec![Rational::zero(); self.ncols + 1];
+        for j in 0..=self.ncols {
+            let mut s = Rational::zero();
+            for row in &self.rows {
+                s += &row[j];
+            }
+            z[j] = -s;
+        }
+        for j in self.art_start..self.ncols {
+            z[j] += &Rational::one();
+        }
+        loop {
+            // Bland's rule: entering column = lowest index with z < 0.
+            let entering = (0..self.ncols).find(|&j| z[j].is_negative());
+            let Some(e) = entering else { break };
+            // Ratio test, Bland tie-break on lowest basis index.
+            let mut pivot_row: Option<usize> = None;
+            let mut best: Option<Rational> = None;
+            for r in 0..self.rows.len() {
+                if !self.rows[r][e].is_positive() {
+                    continue;
+                }
+                let ratio = &self.rows[r][self.ncols] / &self.rows[r][e];
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        ratio < *b
+                            || (ratio == *b
+                                && self.basis[r] < self.basis[pivot_row.unwrap()])
+                    }
+                };
+                if better {
+                    best = Some(ratio);
+                    pivot_row = Some(r);
+                }
+            }
+            let Some(pr) = pivot_row else {
+                // Unbounded phase-1 objective cannot happen (bounded below
+                // by 0); defensively treat as infeasible.
+                return Phase1::Infeasible;
+            };
+            self.pivot(pr, e, &mut z);
+        }
+        // Objective value = −z[rhs] by our convention: z[ncols] currently
+        // holds −Σ rhs adjusted through pivots; the phase-1 optimum is
+        // reached, so check whether any artificial remains at a positive
+        // level.
+        for r in 0..self.rows.len() {
+            if self.basis[r] >= self.art_start && self.rows[r][self.ncols].is_positive() {
+                return Phase1::Infeasible;
+            }
+        }
+        Phase1::Feasible(self)
+    }
+
+    /// Phase-2 simplex: minimize `objective` from the phase-1 feasible
+    /// basis, never letting artificial variables re-enter. Stops at
+    /// optimality or (defensively) on an unbounded direction.
+    #[allow(clippy::needless_range_loop)] // tableau columns are index-coupled
+    fn phase2(&mut self, objective: &LinExpr) {
+        // Cost vector over the split representation: c[p_i] = obj_i,
+        // c[n_i] = −obj_i, slacks 0, artificials barred.
+        let mut cost = vec![Rational::zero(); self.ncols + 1];
+        for (x, coeff) in objective.terms() {
+            cost[x] = coeff.clone();
+            cost[self.num_free + x] = -coeff;
+        }
+        // Reduced costs: z[j] = c[j] − Σ_r c[basis_r]·rows[r][j].
+        let mut z = cost.clone();
+        for r in 0..self.rows.len() {
+            let cb = cost[self.basis[r]].clone();
+            if cb.is_zero() {
+                continue;
+            }
+            for j in 0..=self.ncols {
+                let adj = &cb * &self.rows[r][j];
+                z[j] -= &adj;
+            }
+        }
+        loop {
+            let entering = (0..self.art_start).find(|&j| z[j].is_negative());
+            let Some(e) = entering else { break };
+            let mut pivot_row: Option<usize> = None;
+            let mut best: Option<Rational> = None;
+            for r in 0..self.rows.len() {
+                if !self.rows[r][e].is_positive() {
+                    continue;
+                }
+                let ratio = &self.rows[r][self.ncols] / &self.rows[r][e];
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        ratio < *b
+                            || (ratio == *b
+                                && self.basis[r] < self.basis[pivot_row.unwrap()])
+                    }
+                };
+                if better {
+                    best = Some(ratio);
+                    pivot_row = Some(r);
+                }
+            }
+            let Some(pr) = pivot_row else {
+                break; // unbounded direction: keep the current vertex
+            };
+            self.pivot(pr, e, &mut z);
+        }
+    }
+
+    /// Extract the witness `x = p − n` from the current basis.
+    fn witness(&self) -> Vec<Rational> {
+        let mut vals = vec![Rational::zero(); 2 * self.num_free];
+        for r in 0..self.rows.len() {
+            let b = self.basis[r];
+            if b < 2 * self.num_free {
+                vals[b] = self.rows[r][self.ncols].clone();
+            }
+        }
+        (0..self.num_free)
+            .map(|i| &vals[i] - &vals[self.num_free + i])
+            .collect()
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize, z: &mut [Rational]) {
+        let inv = self.rows[pr][pc].recip();
+        for v in self.rows[pr].iter_mut() {
+            *v = &*v * &inv;
+        }
+        let pivot_row = self.rows[pr].clone();
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            if r == pr || row[pc].is_zero() {
+                continue;
+            }
+            let factor = row[pc].clone();
+            for (v, pv) in row.iter_mut().zip(&pivot_row) {
+                *v = &*v - &(&factor * pv);
+            }
+        }
+        if !z[pc].is_zero() {
+            let factor = z[pc].clone();
+            for (v, pv) in z.iter_mut().zip(&pivot_row) {
+                *v = &*v - &(&factor * pv);
+            }
+        }
+        self.basis[pr] = pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::ratio(n, d)
+    }
+
+    /// Build `Σ coeffs·x + c (rel) 0`.
+    fn con(coeffs: &[(usize, i64)], c: i64, rel: Relation) -> LinConstraint {
+        let mut e = LinExpr::constant(r(c, 1));
+        for &(x, co) in coeffs {
+            e.add_term(x, r(co, 1));
+        }
+        LinConstraint::new(e, rel)
+    }
+
+    fn check_witness(p: &LpProblem) -> Vec<Rational> {
+        match p.feasible() {
+            LpResult::Feasible(w) => {
+                for (i, c) in (0..p.num_constraints()).zip(p.constraints.iter()) {
+                    assert!(c.holds(&w), "constraint {i} ({c}) violated by witness {w:?}");
+                }
+                w
+            }
+            LpResult::Infeasible => panic!("expected feasible"),
+        }
+    }
+
+    #[test]
+    fn trivial_feasible() {
+        let p = LpProblem::new(1);
+        check_witness(&p);
+    }
+
+    #[test]
+    fn single_equality() {
+        let mut p = LpProblem::new(1);
+        p.add(con(&[(0, 2)], -6, Relation::Eq)); // 2x = 6
+        let w = check_witness(&p);
+        assert_eq!(w[0], r(3, 1));
+    }
+
+    #[test]
+    fn negative_solution_found() {
+        let mut p = LpProblem::new(1);
+        p.add(con(&[(0, 1)], 5, Relation::Le)); // x <= -5
+        let w = check_witness(&p);
+        assert!(w[0] <= r(-5, 1));
+    }
+
+    #[test]
+    fn system_of_equalities() {
+        // x + y = 10, x - y = 4  =>  x = 7, y = 3
+        let mut p = LpProblem::new(2);
+        p.add(con(&[(0, 1), (1, 1)], -10, Relation::Eq));
+        p.add(con(&[(0, 1), (1, -1)], -4, Relation::Eq));
+        let w = check_witness(&p);
+        assert_eq!(w, vec![r(7, 1), r(3, 1)]);
+    }
+
+    #[test]
+    fn infeasible_equalities() {
+        let mut p = LpProblem::new(1);
+        p.add(con(&[(0, 1)], -1, Relation::Eq)); // x = 1
+        p.add(con(&[(0, 1)], -2, Relation::Eq)); // x = 2
+        assert_eq!(p.feasible(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_inequalities() {
+        let mut p = LpProblem::new(1);
+        p.add(con(&[(0, 1)], -3, Relation::Ge)); // x >= 3
+        p.add(con(&[(0, 1)], -2, Relation::Le)); // x <= 2
+        assert_eq!(p.feasible(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn inequality_band() {
+        let mut p = LpProblem::new(2);
+        p.add(con(&[(0, 1), (1, 1)], -2, Relation::Ge)); // x + y >= 2
+        p.add(con(&[(0, 1)], 0, Relation::Le)); // x <= 0
+        p.add(con(&[(1, 1)], -3, Relation::Le)); // y <= 3
+        check_witness(&p);
+    }
+
+    #[test]
+    fn rational_coefficients() {
+        // x/2 + y/3 = 1, x = y  => x = y = 6/5
+        let mut p = LpProblem::new(2);
+        let mut e = LinExpr::constant(r(-1, 1));
+        e.add_term(0, r(1, 2));
+        e.add_term(1, r(1, 3));
+        p.add(LinConstraint::new(e, Relation::Eq));
+        p.add(con(&[(0, 1), (1, -1)], 0, Relation::Eq));
+        let w = check_witness(&p);
+        assert_eq!(w[0], r(6, 5));
+        assert_eq!(w[1], r(6, 5));
+    }
+
+    #[test]
+    fn redundant_constraints_ok() {
+        let mut p = LpProblem::new(1);
+        for _ in 0..5 {
+            p.add(con(&[(0, 1)], -1, Relation::Eq)); // x = 1, five times
+        }
+        let w = check_witness(&p);
+        assert_eq!(w[0], r(1, 1));
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classically degenerate system; Bland's rule must terminate.
+        let mut p = LpProblem::new(3);
+        p.add(con(&[(0, 1), (1, -1)], 0, Relation::Le));
+        p.add(con(&[(1, 1), (2, -1)], 0, Relation::Le));
+        p.add(con(&[(2, 1), (0, -1)], 0, Relation::Le));
+        p.add(con(&[(0, 1), (1, 1), (2, 1)], -3, Relation::Eq));
+        let w = check_witness(&p);
+        assert_eq!(&(&(&w[0] + &w[1]) + &w[2]), &r(3, 1));
+    }
+
+    #[test]
+    fn minimize_simple_objective() {
+        // x ≥ 3, minimize x  =>  x = 3.
+        let mut p = LpProblem::new(1);
+        p.add(con(&[(0, 1)], 3, Relation::Ge)); // wrong sign check below
+        // expr = x + 3 ≥ 0 means x ≥ −3; build properly: x − 3 ≥ 0
+        let mut p = LpProblem::new(1);
+        p.add(con(&[(0, 1)], -3, Relation::Ge));
+        match p.minimize(&LinExpr::var(0)) {
+            LpResult::Feasible(w) => assert_eq!(w[0], r(3, 1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_l1_norm_with_aux() {
+        // Find x with x0 + x1 = 2 minimizing |x0| + |x1| via aux vars
+        // t_i ≥ ±x_i: optimum value 2 (any split), each |x_i| = t_i.
+        let mut p = LpProblem::new(4); // x0, x1, t0, t1
+        p.add(con(&[(0, 1), (1, 1)], -2, Relation::Eq));
+        for i in 0..2 {
+            p.add(con(&[(2 + i, 1), (i, -1)], 0, Relation::Ge)); // t ≥ x
+            p.add(con(&[(2 + i, 1), (i, 1)], 0, Relation::Ge)); // t ≥ −x
+        }
+        let mut obj = LinExpr::var(2);
+        obj.add_term(3, r(1, 1));
+        match p.minimize(&obj) {
+            LpResult::Feasible(w) => {
+                let l1 = &w[2] + &w[3];
+                assert_eq!(l1, r(2, 1), "L1 optimum is 2, got {l1} at {w:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_on_infeasible_reports_infeasible() {
+        let mut p = LpProblem::new(1);
+        p.add(con(&[(0, 1)], -3, Relation::Ge));
+        p.add(con(&[(0, 1)], 2, Relation::Le));
+        assert_eq!(p.minimize(&LinExpr::var(0)), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn minimize_negative_region() {
+        // x ≤ −1, x ≥ −5: minimize −x  =>  x = −5... minimize x => −5.
+        let mut p = LpProblem::new(1);
+        p.add(con(&[(0, 1)], 1, Relation::Le));
+        p.add(con(&[(0, 1)], 5, Relation::Ge));
+        match p.minimize(&LinExpr::var(0)) {
+            LpResult::Feasible(w) => assert_eq!(w[0], r(-5, 1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_vars_feasible() {
+        // Chain x0 <= x1 <= ... <= x9, x9 <= -1, x0 >= -100
+        let mut p = LpProblem::new(10);
+        for i in 0..9 {
+            p.add(con(&[(i, 1), (i + 1, -1)], 0, Relation::Le));
+        }
+        p.add(con(&[(9, 1)], 1, Relation::Le));
+        p.add(con(&[(0, 1)], 100, Relation::Ge));
+        let w = check_witness(&p);
+        assert!(w[9] <= r(-1, 1));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the exact-arithmetic substrate, checked
+//! against native integer oracles.
+
+use nck_smt::{BigInt, LinConstraint, LinExpr, LpProblem, LpResult, Rational, Relation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = &BigInt::from(a) + &BigInt::from(b);
+        prop_assert_eq!(sum, BigInt::from(a as i128 + b as i128));
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let prod = &BigInt::from(a) * &BigInt::from(b);
+        prop_assert_eq!(prod, BigInt::from(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn bigint_divrem_identity(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |&b| b != 0)) {
+        let (q, r) = BigInt::from(a).divrem(&BigInt::from(b));
+        // a = q·b + r with |r| < |b|
+        prop_assert_eq!(&(&q * &BigInt::from(b)) + &r, BigInt::from(a));
+        prop_assert!(r.abs() < BigInt::from(b).abs());
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in any::<i32>(), b in any::<i32>()) {
+        let g = BigInt::from(a as i64).gcd(&BigInt::from(b as i64));
+        if !g.is_zero() {
+            let (_, r1) = BigInt::from(a as i64).divrem(&g);
+            let (_, r2) = BigInt::from(b as i64).divrem(&g);
+            prop_assert!(r1.is_zero() && r2.is_zero());
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+    }
+
+    #[test]
+    fn bigint_ordering_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn rational_field_axioms(
+        (an, ad) in (any::<i32>(), 1i32..1000),
+        (bn, bd) in (any::<i32>(), 1i32..1000),
+        (cn, cd) in (any::<i32>(), 1i32..1000),
+    ) {
+        let a = Rational::ratio(an as i64, ad as i64);
+        let b = Rational::ratio(bn as i64, bd as i64);
+        let c = Rational::ratio(cn as i64, cd as i64);
+        // Commutativity and associativity.
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        // Distributivity.
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // Subtraction inverts addition.
+        prop_assert_eq!(&(&a + &b) - &b, a.clone());
+        // Reciprocal.
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a);
+        }
+    }
+
+    #[test]
+    fn rational_ordering_consistent_with_f64(
+        (an, ad) in (-1000i64..1000, 1i64..1000),
+        (bn, bd) in (-1000i64..1000, 1i64..1000),
+    ) {
+        let a = Rational::ratio(an, ad);
+        let b = Rational::ratio(bn, bd);
+        let fa = an as f64 / ad as f64;
+        let fb = bn as f64 / bd as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    /// Random interval systems: the LP is feasible iff the intervals
+    /// intersect pairwise per variable and the witness satisfies every
+    /// constraint.
+    #[test]
+    fn simplex_on_random_box_systems(
+        bounds in prop::collection::vec((-50i64..50, -50i64..50), 1..5),
+    ) {
+        let n = bounds.len();
+        let mut lp = LpProblem::new(n);
+        let mut feasible = true;
+        for (i, &(a, b)) in bounds.iter().enumerate() {
+            let (lo, hi) = (a.min(b), a.max(b));
+            if a > b {
+                feasible = false;
+                // Deliberately inverted: x ≥ a and x ≤ b with a > b.
+                let (lo, hi) = (a, b);
+                let mut e = LinExpr::var(i);
+                e.add_constant(&Rational::from(-lo));
+                lp.add(LinConstraint::new(e, Relation::Ge));
+                let mut e = LinExpr::var(i);
+                e.add_constant(&Rational::from(-hi));
+                lp.add(LinConstraint::new(e, Relation::Le));
+            } else {
+                let mut e = LinExpr::var(i);
+                e.add_constant(&Rational::from(-lo));
+                lp.add(LinConstraint::new(e, Relation::Ge));
+                let mut e = LinExpr::var(i);
+                e.add_constant(&Rational::from(-hi));
+                lp.add(LinConstraint::new(e, Relation::Le));
+            }
+        }
+        match lp.feasible() {
+            LpResult::Feasible(w) => {
+                prop_assert!(feasible, "infeasible system declared feasible");
+                for (i, &(a, b)) in bounds.iter().enumerate() {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    prop_assert!(w[i] >= Rational::from(lo) && w[i] <= Rational::from(hi));
+                }
+            }
+            LpResult::Infeasible => prop_assert!(!feasible, "feasible system declared infeasible"),
+        }
+    }
+
+    /// Random equality systems Ax = b with known solution x*: the
+    /// simplex must find some solution (witness check), and never
+    /// declare infeasibility.
+    #[test]
+    fn simplex_solves_consistent_equalities(
+        xstar in prop::collection::vec(-20i64..20, 2..5),
+        rows in prop::collection::vec(prop::collection::vec(-5i64..5, 2..5), 1..5),
+    ) {
+        let n = xstar.len();
+        let mut lp = LpProblem::new(n);
+        let mut constraints = Vec::new();
+        for row in &rows {
+            let mut e = LinExpr::zero();
+            let mut rhs = 0i64;
+            #[allow(clippy::needless_range_loop)] // xstar and row are index-coupled
+            for i in 0..n {
+                let c = row.get(i).copied().unwrap_or(0);
+                e.add_term(i, Rational::from(c));
+                rhs += c * xstar[i];
+            }
+            e.add_constant(&Rational::from(-rhs));
+            let c = LinConstraint::new(e, Relation::Eq);
+            constraints.push(c.clone());
+            lp.add(c);
+        }
+        match lp.feasible() {
+            LpResult::Feasible(w) => {
+                for c in &constraints {
+                    prop_assert!(c.holds(&w), "witness violates {c}");
+                }
+            }
+            LpResult::Infeasible => prop_assert!(false, "consistent system declared infeasible"),
+        }
+    }
+}

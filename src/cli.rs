@@ -1,0 +1,158 @@
+//! Text format for NchooseK programs and the CLI driver logic.
+//!
+//! The `.nck` format, one statement per line (`#` comments):
+//!
+//! ```text
+//! var a b c            # declare variables
+//! nck a b : 0 1        # hard constraint, selection after ':'
+//! nck b c : 1
+//! soft a : 0           # soft constraint (weight 1)
+//! soft*3 b : 1         # weighted soft constraint
+//! ```
+//!
+//! Variables may repeat inside a collection (`nck a a b : 2`), matching
+//! the paper's repeated-variable encodings.
+
+use nck_core::{NckError, Program, Var};
+use std::collections::HashMap;
+
+/// Parse a `.nck` document into a program.
+pub fn parse_program(text: &str) -> Result<Program, String> {
+    let mut program = Program::new();
+    let mut vars: HashMap<String, Var> = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line");
+        match head {
+            "var" => {
+                for name in parts {
+                    let v = program
+                        .new_var(name)
+                        .map_err(|e: NckError| err(e.to_string()))?;
+                    vars.insert(name.to_string(), v);
+                }
+            }
+            _ if head == "nck" || head == "soft" || head.starts_with("soft*") => {
+                let weight: u32 = if let Some(w) = head.strip_prefix("soft*") {
+                    w.parse().map_err(|e| err(format!("bad weight {w:?}: {e}")))?
+                } else {
+                    1
+                };
+                let rest: Vec<&str> = parts.collect();
+                let split = rest
+                    .iter()
+                    .position(|&t| t == ":")
+                    .ok_or_else(|| err("missing ':' between collection and selection".into()))?;
+                let (collection_toks, selection_toks) = rest.split_at(split);
+                let selection_toks = &selection_toks[1..];
+                if collection_toks.is_empty() {
+                    return Err(err("empty variable collection".into()));
+                }
+                if selection_toks.is_empty() {
+                    return Err(err("empty selection set".into()));
+                }
+                let mut collection = Vec::with_capacity(collection_toks.len());
+                for name in collection_toks {
+                    let v = *vars
+                        .get(*name)
+                        .ok_or_else(|| err(format!("unknown variable {name:?}")))?;
+                    collection.push(v);
+                }
+                let mut selection = Vec::with_capacity(selection_toks.len());
+                for tok in selection_toks {
+                    selection.push(
+                        tok.parse::<u32>()
+                            .map_err(|e| err(format!("bad selection value {tok:?}: {e}")))?,
+                    );
+                }
+                let result = if head == "nck" {
+                    program.nck(collection, selection)
+                } else {
+                    program.nck_soft_weighted(collection, selection, weight)
+                };
+                result.map_err(|e| err(e.to_string()))?;
+            }
+            other => return Err(err(format!("unknown statement {other:?}"))),
+        }
+    }
+    Ok(program)
+}
+
+/// Render an assignment using the program's variable names.
+pub fn format_assignment(program: &Program, assignment: &[bool]) -> String {
+    (0..program.num_vars())
+        .map(|i| {
+            format!(
+                "{}={}",
+                program.name(Var::new(i as u32)),
+                u8::from(assignment[i])
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_intro() {
+        let p = parse_program(
+            "# the paper's intro example\nvar a b c\nnck a b : 0 1\nnck b c : 1\n",
+        )
+        .unwrap();
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.num_hard(), 2);
+        assert!(p.all_hard_satisfied(&[false, true, false]));
+        assert!(!p.all_hard_satisfied(&[true, true, false]));
+    }
+
+    #[test]
+    fn parses_soft_and_weights() {
+        let p = parse_program("var x y\nsoft x : 0\nsoft*4 y : 1\n").unwrap();
+        assert_eq!(p.num_soft(), 2);
+        assert_eq!(p.total_soft_weight(), 5);
+    }
+
+    #[test]
+    fn repeated_variables_in_collection() {
+        let p = parse_program("var x y z\nnck x y z z z : 0 1 2 4 5\n").unwrap();
+        let c = &p.constraints()[0];
+        assert_eq!(c.cardinality(), 5);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        assert!(parse_program("var a\nnck a 2\n").unwrap_err().contains("line 2"));
+        assert!(parse_program("frobnicate\n").unwrap_err().contains("unknown statement"));
+        assert!(parse_program("var a\nnck b : 1\n").unwrap_err().contains("unknown variable"));
+        assert!(parse_program("var a\nnck a : x\n").unwrap_err().contains("bad selection"));
+        assert!(parse_program("var a\nsoft*zero a : 0\n").unwrap_err().contains("bad weight"));
+        assert!(parse_program("var a\nnck a : 5\n")
+            .unwrap_err()
+            .contains("selection value 5"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse_program("\n# full comment\nvar a  # trailing\n\nnck a : 1\n").unwrap();
+        assert_eq!(p.num_hard(), 1);
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        assert!(parse_program("var a a\n").unwrap_err().contains("registered twice"));
+    }
+
+    #[test]
+    fn format_assignment_uses_names() {
+        let p = parse_program("var alpha beta\nnck alpha : 1\n").unwrap();
+        assert_eq!(format_assignment(&p, &[true, false]), "alpha=1 beta=0");
+    }
+}

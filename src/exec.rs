@@ -1,0 +1,248 @@
+//! High-level execution: compile an NchooseK program and run it on a
+//! backend, decoding and classifying the results.
+//!
+//! This is the porcelain most users want — the equivalent of the
+//! Python NchooseK `solve(env, solver=...)` entry point. It wires
+//! together the compiler (`nck-compile`), the backends (`nck-anneal`,
+//! `nck-circuit`), and the classical oracle (`nck-classical`).
+
+use nck_anneal::{AnnealError, AnnealerDevice};
+use nck_circuit::{GateModelDevice, QaoaError};
+use nck_classical::{solve as classical_solve, OptimalityOracle, SolveOutcome, SolverOptions};
+use nck_compile::{compile, CompileError, CompiledProgram, CompilerOptions};
+use nck_core::{Program, SolutionQuality};
+use std::fmt;
+
+/// Errors from end-to-end execution.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Compilation to QUBO failed.
+    Compile(CompileError),
+    /// The annealing backend failed.
+    Anneal(AnnealError),
+    /// The gate-model backend failed.
+    Qaoa(QaoaError),
+    /// The program's hard constraints are unsatisfiable.
+    Unsatisfiable,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Compile(e) => write!(f, "compile error: {e}"),
+            ExecError::Anneal(e) => write!(f, "annealer error: {e}"),
+            ExecError::Qaoa(e) => write!(f, "gate-model error: {e}"),
+            ExecError::Unsatisfiable => write!(f, "hard constraints are unsatisfiable"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<CompileError> for ExecError {
+    fn from(e: CompileError) -> Self {
+        ExecError::Compile(e)
+    }
+}
+impl From<AnnealError> for ExecError {
+    fn from(e: AnnealError) -> Self {
+        ExecError::Anneal(e)
+    }
+}
+impl From<QaoaError> for ExecError {
+    fn from(e: QaoaError) -> Self {
+        ExecError::Qaoa(e)
+    }
+}
+
+/// The outcome of running a program on a quantum backend.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// Best assignment over the program variables.
+    pub assignment: Vec<bool>,
+    /// Its quality per Definition 8, judged against the classical
+    /// optimum.
+    pub quality: SolutionQuality,
+    /// Soft constraints satisfied by `assignment` (count).
+    pub soft_satisfied: usize,
+    /// The classical soft optimum, as a satisfied *weight* (equal to a
+    /// count when all weights are 1).
+    pub max_soft: u64,
+    /// The compiled program (QUBO size, ancillas, weights, stats).
+    pub compiled: CompiledProgram,
+}
+
+/// Solve on the simulated D-Wave annealer: one job of `num_reads`
+/// samples, best sample reported (the paper's §VII protocol).
+pub fn run_on_annealer(
+    program: &Program,
+    device: &AnnealerDevice,
+    num_reads: usize,
+    seed: u64,
+) -> Result<ExecOutcome, ExecError> {
+    let compiled = compile(program, &CompilerOptions::default())?;
+    let result = device.sample_qubo(&compiled.qubo, num_reads, seed)?;
+    let oracle = OptimalityOracle::build(program);
+    let max_soft = oracle.max_soft.ok_or(ExecError::Unsatisfiable)?;
+    // Pick the best sample by quality, then by soft count.
+    let mut best: Option<(SolutionQuality, u64, Vec<bool>)> = None;
+    for s in &result.samples {
+        let assignment = compiled.program_assignment(&s.assignment).to_vec();
+        let quality = oracle.classify(program, &assignment);
+        let soft = program.evaluate(&assignment).soft_weight_satisfied;
+        if best
+            .as_ref()
+            .is_none_or(|(q, sf, _)| (quality, soft) > (*q, *sf))
+        {
+            best = Some((quality, soft, assignment));
+        }
+    }
+    let (quality, _, assignment) = best.expect("at least one sample");
+    let soft_satisfied = program.evaluate(&assignment).soft_satisfied;
+    Ok(ExecOutcome { assignment, quality, soft_satisfied, max_soft, compiled })
+}
+
+/// Solve on the simulated gate-model device via QAOA (single returned
+/// result, as in §VIII-B).
+pub fn run_on_gate_model(
+    program: &Program,
+    device: &GateModelDevice,
+    layers: usize,
+    shots: usize,
+    max_iter: usize,
+    seed: u64,
+) -> Result<ExecOutcome, ExecError> {
+    let compiled = compile(program, &CompilerOptions::default())?;
+    let run = device.run_qaoa(&compiled.qubo, layers, shots, max_iter, seed)?;
+    let oracle = OptimalityOracle::build(program);
+    let max_soft = oracle.max_soft.ok_or(ExecError::Unsatisfiable)?;
+    let assignment = compiled.program_assignment(&run.best_assignment).to_vec();
+    let quality = oracle.classify(program, &assignment);
+    let soft_satisfied = program.evaluate(&assignment).soft_satisfied;
+    Ok(ExecOutcome { assignment, quality, soft_satisfied, max_soft, compiled })
+}
+
+/// Solve a *hard-only* program by Grover search on the simulated gate
+/// model — the lineage of the original NchooseK abstraction (§I cites
+/// its first use in a Grover search). Uses the BBHT schedule for an
+/// unknown solution count: exponentially growing iteration guesses,
+/// each measured once and checked classically.
+///
+/// Limited to ≤ 20 variables (state-vector oracle) and programs with
+/// no soft constraints (Grover amplifies *satisfying* assignments; it
+/// has no notion of soft-count optimality).
+pub fn run_on_grover(program: &Program, seed: u64) -> Result<ExecOutcome, ExecError> {
+    use nck_circuit::grover_search;
+    assert!(
+        program.num_soft() == 0,
+        "Grover backend supports hard-only programs"
+    );
+    let n = program.num_vars();
+    assert!(n <= 20, "Grover simulation limited to 20 variables");
+    let compiled = compile(program, &CompilerOptions::default())?;
+    let predicate = |bits: u64| {
+        let x: Vec<bool> = (0..n).map(|q| bits >> q & 1 == 1).collect();
+        program.all_hard_satisfied(&x)
+    };
+    // BBHT: try m = ⌈1.2^j⌉ iterations, j = 0, 1, …; measure once per
+    // guess. Expected O(√(N/M)) total oracle calls.
+    let mut m = 1.0f64;
+    let mut found: Option<Vec<bool>> = None;
+    for j in 0..64 {
+        let iters = m.ceil() as usize;
+        let r = grover_search(n, predicate, iters, seed ^ j);
+        if r.satisfying {
+            found = Some(r.assignment);
+            break;
+        }
+        m = (m * 1.3).min((1u64 << n) as f64);
+    }
+    let assignment = found.ok_or(ExecError::Unsatisfiable)?;
+    let oracle = OptimalityOracle::build(program);
+    let max_soft = oracle.max_soft.ok_or(ExecError::Unsatisfiable)?;
+    let quality = oracle.classify(program, &assignment);
+    let soft_satisfied = program.evaluate(&assignment).soft_satisfied;
+    Ok(ExecOutcome { assignment, quality, soft_satisfied, max_soft, compiled })
+}
+
+/// Solve classically (the Z3-role baseline): exact branch and bound.
+pub fn run_classically(program: &Program) -> Result<(Vec<bool>, usize), ExecError> {
+    match classical_solve(program, &SolverOptions::default()).0 {
+        SolveOutcome::Solved { assignment, soft_satisfied, .. } => Ok((assignment, soft_satisfied)),
+        SolveOutcome::Unsatisfiable => Err(ExecError::Unsatisfiable),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vertex_cover() -> Program {
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 5).unwrap();
+        for (u, w) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)] {
+            p.nck(vec![vs[u], vs[w]], [1, 2]).unwrap();
+        }
+        for &v in &vs {
+            p.nck_soft(vec![v], [0]).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn annealer_end_to_end_optimal() {
+        let p = vertex_cover();
+        let device = AnnealerDevice::ideal(16);
+        let out = run_on_annealer(&p, &device, 50, 3).unwrap();
+        assert_eq!(out.quality, SolutionQuality::Optimal);
+        assert_eq!(out.max_soft, 2);
+        assert_eq!(out.assignment.iter().filter(|&&b| b).count(), 3);
+    }
+
+    #[test]
+    fn gate_model_end_to_end_optimal() {
+        let p = vertex_cover();
+        let device = GateModelDevice::ideal(8);
+        let out = run_on_gate_model(&p, &device, 1, 1024, 60, 3).unwrap();
+        assert!(out.quality >= SolutionQuality::Suboptimal);
+    }
+
+    #[test]
+    fn classical_end_to_end() {
+        let p = vertex_cover();
+        let (assignment, soft) = run_classically(&p).unwrap();
+        assert_eq!(soft, 2);
+        assert!(p.all_hard_satisfied(&assignment));
+    }
+
+    #[test]
+    fn grover_solves_hard_only_program() {
+        // The intro example: 3 solutions among 8 assignments.
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        let b = p.new_var("b").unwrap();
+        let c = p.new_var("c").unwrap();
+        p.nck(vec![a, b], [0, 1]).unwrap();
+        p.nck(vec![b, c], [1]).unwrap();
+        let out = run_on_grover(&p, 9).unwrap();
+        assert_eq!(out.quality, SolutionQuality::Optimal);
+        assert!(p.all_hard_satisfied(&out.assignment));
+    }
+
+    #[test]
+    fn grover_map_coloring() {
+        use nck_problems::{Graph, MapColoring};
+        let problem = MapColoring::new(Graph::cycle(4), 2);
+        let out = run_on_grover(&problem.program(), 4).unwrap();
+        assert!(problem.is_valid_coloring(&out.assignment));
+    }
+
+    #[test]
+    fn unsatisfiable_reported() {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        p.nck(vec![a], [0]).unwrap();
+        p.nck(vec![a], [1]).unwrap();
+        assert!(matches!(run_classically(&p), Err(ExecError::Unsatisfiable)));
+    }
+}

@@ -1,0 +1,136 @@
+//! `nchoosek` command-line driver: solve a `.nck` program on a chosen
+//! backend.
+//!
+//! ```text
+//! nchoosek <file.nck> [--backend annealer|gate|classical|grover]
+//!                     [--seed N] [--reads N] [--qubo]
+//! ```
+
+use nchoosek::cli::{format_assignment, parse_program};
+use nchoosek::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nchoosek <file.nck> [--backend annealer|gate|classical|grover] \
+         [--seed N] [--reads N] [--qubo]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut backend = "annealer".to_string();
+    let mut seed = 42u64;
+    let mut reads = 100usize;
+    let mut dump_qubo = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => match it.next() {
+                Some(b) => backend = b,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "--reads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(r) => reads = r,
+                None => return usage(),
+            },
+            "--qubo" => dump_qubo = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{file}: {} variables, {} hard + {} soft constraints",
+        program.num_vars(),
+        program.num_hard(),
+        program.num_soft()
+    );
+    if dump_qubo {
+        match compile(&program, &CompilerOptions::default()) {
+            Ok(c) => {
+                println!(
+                    "compiled QUBO ({} vars, {} ancillas, W = {}):",
+                    c.num_qubo_vars(),
+                    c.num_ancillas,
+                    c.hard_weight
+                );
+                print!("{}", nck_qubo::to_qubo_file(&c.qubo));
+            }
+            Err(e) => {
+                eprintln!("error: compile failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let outcome = match backend.as_str() {
+        "annealer" => {
+            let device = AnnealerDevice::advantage_4_1();
+            run_on_annealer(&program, &device, reads, seed)
+        }
+        "gate" => {
+            let device = GateModelDevice::ibmq_brooklyn();
+            run_on_gate_model(&program, &device, 1, 4000, 30, seed)
+        }
+        "grover" => run_on_grover(&program, seed),
+        "classical" => match run_classically(&program) {
+            Ok((assignment, soft)) => {
+                println!("classical optimum: {soft} soft constraint(s) satisfied");
+                println!("{}", format_assignment(&program, &assignment));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        other => {
+            eprintln!("error: unknown backend {other:?}");
+            return usage();
+        }
+    };
+    match outcome {
+        Ok(out) => {
+            let ev = program.evaluate(&out.assignment);
+            println!(
+                "{backend} result: {} ({} of {} soft constraints; weight {} of optimum {})",
+                out.quality,
+                out.soft_satisfied,
+                program.num_soft(),
+                ev.soft_weight_satisfied,
+                out.max_soft
+            );
+            println!("{}", format_assignment(&program, &out.assignment));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end backend integration: every paper problem runs through
+//! the full pipeline on both simulated devices, and ideal devices
+//! return optimal results on small instances.
+
+use nchoosek::prelude::*;
+use nck_anneal::{NoiseModel, SaParams};
+use nck_problems::{
+    CliqueCover, ExactCover, Graph, KSat, MapColoring, MaxCut, MinSetCover, MinVertexCover,
+};
+
+/// A quiet, well-converged annealer for small instances: optimality is
+/// then deterministic enough to assert.
+fn good_annealer() -> AnnealerDevice {
+    let mut d = AnnealerDevice::advantage_4_1();
+    d.noise = NoiseModel::ideal();
+    d.sa = SaParams { num_sweeps: 512, ..SaParams::default() };
+    d
+}
+
+#[test]
+fn vertex_cover_on_annealer() {
+    let problem = MinVertexCover::new(Graph::new(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]));
+    let out = run_on_annealer(&problem.program(), &good_annealer(), 100, 1).unwrap();
+    assert_eq!(out.quality, SolutionQuality::Optimal);
+    assert!(problem.is_cover(&out.assignment));
+    assert_eq!(problem.cover_size(&out.assignment), 3);
+}
+
+#[test]
+fn max_cut_on_annealer() {
+    let problem = MaxCut::new(Graph::cycle(8));
+    let out = run_on_annealer(&problem.program(), &good_annealer(), 100, 2).unwrap();
+    assert_eq!(out.quality, SolutionQuality::Optimal);
+    assert_eq!(problem.cut_size(&out.assignment), 8);
+}
+
+#[test]
+fn exact_cover_on_annealer() {
+    let problem = ExactCover::random(8, 4, 11);
+    let out = run_on_annealer(&problem.program(), &good_annealer(), 100, 3).unwrap();
+    assert_eq!(out.quality, SolutionQuality::Optimal);
+    assert!(problem.is_exact_cover(&out.assignment));
+}
+
+#[test]
+fn min_set_cover_on_annealer() {
+    let problem = MinSetCover::new(5, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4]]);
+    let out = run_on_annealer(&problem.program(), &good_annealer(), 100, 4).unwrap();
+    assert_eq!(out.quality, SolutionQuality::Optimal);
+    assert!(problem.is_cover(&out.assignment));
+}
+
+#[test]
+fn map_coloring_on_annealer() {
+    let problem = MapColoring::new(Graph::cycle(5), 3);
+    let out = run_on_annealer(&problem.program(), &good_annealer(), 100, 5).unwrap();
+    assert_eq!(out.quality, SolutionQuality::Optimal);
+    assert!(problem.is_valid_coloring(&out.assignment));
+}
+
+#[test]
+fn clique_cover_on_annealer() {
+    let g = Graph::new(6, [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]);
+    let problem = CliqueCover::new(g, 2);
+    let out = run_on_annealer(&problem.program(), &good_annealer(), 100, 6).unwrap();
+    assert_eq!(out.quality, SolutionQuality::Optimal);
+    assert!(problem.is_valid_cover(&out.assignment));
+}
+
+#[test]
+fn three_sat_on_annealer() {
+    let sat = KSat::random_3sat(7, 10, 7);
+    let out = run_on_annealer(&sat.program_repeated(), &good_annealer(), 100, 7).unwrap();
+    assert_eq!(out.quality, SolutionQuality::Optimal);
+    assert!(sat.is_satisfying(&out.assignment[..7]));
+}
+
+#[test]
+fn vertex_cover_on_gate_model() {
+    let problem = MinVertexCover::new(Graph::new(4, [(0, 1), (1, 2), (2, 3)]));
+    let device = GateModelDevice::ideal(8);
+    let out = run_on_gate_model(&problem.program(), &device, 1, 2048, 60, 8).unwrap();
+    assert!(out.quality.is_correct(), "got {}", out.quality);
+    assert!(problem.is_cover(&out.assignment));
+}
+
+#[test]
+fn max_cut_on_gate_model() {
+    let problem = MaxCut::new(Graph::cycle(6));
+    let device = GateModelDevice::ideal(6);
+    let out = run_on_gate_model(&problem.program(), &device, 1, 2048, 60, 9).unwrap();
+    // p=1 QAOA with enough shots on an even cycle finds the bipartition.
+    assert_eq!(out.quality, SolutionQuality::Optimal);
+    assert_eq!(problem.cut_size(&out.assignment), 6);
+}
+
+/// The mixed-problem effect the paper highlights: the hard weight is
+/// strictly larger than the total possible soft penalty, so any
+/// correct (all-hard) sample beats any incorrect one on energy.
+#[test]
+fn hard_violations_always_cost_more_than_soft() {
+    let problem = MinVertexCover::new(Graph::cycle(5));
+    let program = problem.program();
+    let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+    let q = &compiled.qubo;
+    let n = program.num_vars();
+    let mut worst_correct = f64::NEG_INFINITY;
+    let mut best_incorrect = f64::INFINITY;
+    for bits in 0..1u64 << n {
+        let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        let e = q.energy(&x);
+        if program.all_hard_satisfied(&x) {
+            worst_correct = worst_correct.max(e);
+        } else {
+            best_incorrect = best_incorrect.min(e);
+        }
+    }
+    assert!(
+        best_incorrect > worst_correct,
+        "a hard violation ({best_incorrect}) must cost more than any all-hard assignment ({worst_correct})"
+    );
+}
+
+/// Chain overhead appears on the Advantage-scale device for densely
+/// coupled programs: physical qubits exceed logical variables.
+#[test]
+fn physical_qubits_exceed_variables_on_dense_problem() {
+    let problem = MapColoring::new(Graph::complete(5), 3);
+    let program = problem.program();
+    let compiled = compile(&program, &CompilerOptions::default()).unwrap();
+    let device = AnnealerDevice::advantage_4_1();
+    let result = device.sample_qubo(&compiled.qubo, 10, 10).unwrap();
+    assert!(
+        result.physical_qubits > compiled.num_qubo_vars(),
+        "expected chains: {} physical for {} logical",
+        result.physical_qubits,
+        compiled.num_qubo_vars()
+    );
+}

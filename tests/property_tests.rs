@@ -1,0 +1,155 @@
+//! Property-based tests over the core pipeline invariants.
+
+use nck_compile::{compile, find_qubo, verify, CompilerOptions, ConstraintShape};
+use nck_core::Program;
+use nck_qubo::{solve_exhaustive, Qubo};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: a satisfiable constraint shape with ≤ 4 distinct variables
+/// of multiplicity ≤ 2 and a non-empty selection of achievable counts.
+fn shape_strategy() -> impl Strategy<Value = ConstraintShape> {
+    (1usize..=4, any::<u64>()).prop_flat_map(|(d, bits)| {
+        let mults: Vec<u32> = (0..d).map(|i| 1 + ((bits >> i) & 1) as u32).collect();
+        let cardinality: u32 = mults.iter().sum();
+        let mults2 = mults.clone();
+        // Pick a non-empty subset of 0..=cardinality as the selection,
+        // then ensure at least one achievable count is included.
+        prop::collection::btree_set(0..=cardinality, 1..=(cardinality as usize + 1)).prop_map(
+            move |mut selection: BTreeSet<u32>| {
+                let shape = ConstraintShape {
+                    multiplicities: mults2.clone(),
+                    selection: selection.clone(),
+                };
+                if !shape.satisfiable() {
+                    // Force satisfiability by including count 0.
+                    selection.insert(0);
+                }
+                ConstraintShape { multiplicities: mults2.clone(), selection }
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every satisfiable shape compiles to a QUBO whose penalties are
+    /// exactly 0 on satisfying assignments and ≥ 1 elsewhere — the
+    /// compiler's core soundness contract, re-verified independently.
+    #[test]
+    fn compiled_constraint_qubos_are_sound(shape in shape_strategy()) {
+        let compiled = find_qubo(&shape, 3).expect("satisfiable shape must compile");
+        prop_assert!(verify(&compiled, &shape), "invalid table for {shape:?}");
+    }
+
+    /// QUBO ↔ Ising round trip preserves energies on every assignment.
+    #[test]
+    fn qubo_ising_round_trip(
+        linear in prop::collection::vec(-5.0f64..5.0, 1..6),
+        quad in prop::collection::vec((0usize..6, 0usize..6, -5.0f64..5.0), 0..8),
+        offset in -3.0f64..3.0,
+    ) {
+        let n = linear.len();
+        let mut q = Qubo::new(n);
+        for (i, &c) in linear.iter().enumerate() {
+            q.add_linear(i, c);
+        }
+        for &(a, b, c) in &quad {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                q.add_quadratic(a, b, c);
+            }
+        }
+        q.add_offset(offset);
+        let round = q.to_ising().to_qubo();
+        for bits in 0..1u64 << n {
+            let d = (q.energy_bits(bits) - round.energy_bits(bits)).abs();
+            prop_assert!(d < 1e-9, "bits {bits:b}: {d}");
+        }
+    }
+
+    /// Scaling a QUBO by a positive factor never changes its minimizer
+    /// set.
+    #[test]
+    fn positive_scaling_preserves_minimizers(
+        linear in prop::collection::vec(-4.0f64..4.0, 2..6),
+        k in 0.1f64..50.0,
+    ) {
+        let n = linear.len();
+        let mut q = Qubo::new(n);
+        for (i, &c) in linear.iter().enumerate() {
+            q.add_linear(i, c);
+            if i + 1 < n {
+                q.add_quadratic(i, i + 1, c / 2.0);
+            }
+        }
+        let before = solve_exhaustive(&q).minimizers;
+        let mut scaled = q.clone();
+        scaled.scale(k);
+        let after = solve_exhaustive(&scaled).minimizers;
+        prop_assert_eq!(before, after);
+    }
+
+    /// For random mixed programs, the branch-and-bound solver and brute
+    /// force agree on the soft optimum, and the compiled QUBO's ground
+    /// states project onto exactly the optimal assignments.
+    #[test]
+    fn solver_compiler_brute_agree(
+        seed in any::<u64>(),
+        n in 3usize..6,
+        m in 1usize..5,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut p = Program::new();
+        let vs = p.new_vars("v", n).unwrap();
+        for _ in 0..m {
+            let a = vs[(next() % n as u64) as usize];
+            let b = vs[(next() % n as u64) as usize];
+            let mut col = vec![a, b];
+            if next() % 2 == 0 {
+                col.push(vs[(next() % n as u64) as usize]);
+            }
+            let card = col.len() as u32;
+            let mut sel: Vec<u32> = (0..=card).filter(|_| next() % 2 == 0).collect();
+            if sel.is_empty() {
+                sel.push((next() % (card as u64 + 1)) as u32);
+            }
+            if next() % 3 == 0 {
+                p.nck_soft(col, sel).unwrap();
+            } else {
+                p.nck(col, sel).unwrap();
+            }
+        }
+        let brute = nck_classical::solve_brute(&p);
+        let solved = nck_classical::max_soft_satisfiable(&p);
+        match (&brute, solved) {
+            (None, None) => {}
+            (Some(b), Some(s)) => {
+                prop_assert_eq!(b.max_soft, s);
+                // Compiler agreement (skip if constraints are
+                // individually unsatisfiable — the compiler rejects
+                // those even when brute force can't satisfy them
+                // either... here brute succeeded so all fine).
+                if let Ok(compiled) = compile(&p, &CompilerOptions::default()) {
+                    if compiled.num_qubo_vars() <= 16 {
+                        let r = solve_exhaustive(&compiled.qubo);
+                        let mask = (1u64 << n) - 1;
+                        let projected: std::collections::HashSet<u64> =
+                            r.minimizers.iter().map(|&x| x & mask).collect();
+                        let expected: std::collections::HashSet<u64> =
+                            b.optima.iter().copied().collect();
+                        prop_assert_eq!(projected, expected);
+                    }
+                }
+            }
+            _ => prop_assert!(false, "solver {solved:?} vs brute {brute:?}"),
+        }
+    }
+}
