@@ -53,16 +53,9 @@ pub fn embed_ising(
         let cv = embedding.chain(v);
         let couplers: Vec<(usize, usize)> = cu
             .iter()
-            .flat_map(|&a| {
-                cv.iter()
-                    .filter(move |&&b| topo.coupled(a, b))
-                    .map(move |&b| (a, b))
-            })
+            .flat_map(|&a| cv.iter().filter(move |&&b| topo.coupled(a, b)).map(move |&b| (a, b)))
             .collect();
-        assert!(
-            !couplers.is_empty(),
-            "embedding does not cover logical edge ({u},{v})"
-        );
+        assert!(!couplers.is_empty(), "embedding does not cover logical edge ({u},{v})");
         let share = j / couplers.len() as f64;
         for (a, b) in couplers {
             physical.add_coupling(a, b, share);
@@ -77,11 +70,7 @@ pub fn embed_ising(
             }
         }
     }
-    EmbeddedIsing {
-        physical,
-        embedding: embedding.clone(),
-        chain_strength,
-    }
+    EmbeddedIsing { physical, embedding: embedding.clone(), chain_strength }
 }
 
 impl EmbeddedIsing {

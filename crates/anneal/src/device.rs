@@ -86,15 +86,10 @@ impl AnnealResult {
             let e = counts.entry(s.assignment.clone()).or_insert((s.energy, 0));
             e.1 += 1;
         }
-        let mut out: Vec<(Vec<bool>, f64, usize)> = counts
-            .into_iter()
-            .map(|(a, (e, c))| (a, e, c))
-            .collect();
+        let mut out: Vec<(Vec<bool>, f64, usize)> =
+            counts.into_iter().map(|(a, (e, c))| (a, e, c)).collect();
         out.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap()
-                .then_with(|| b.2.cmp(&a.2))
-                .then_with(|| a.0.cmp(&b.0))
+            a.1.partial_cmp(&b.1).unwrap().then_with(|| b.2.cmp(&a.2)).then_with(|| a.0.cmp(&b.0))
         });
         out
     }
@@ -174,9 +169,8 @@ impl AnnealerDevice {
             .or_else(|| {
                 // Dense problems can defeat the heuristic; the clique
                 // embedding hosts any minor of K_n directly.
-                self.clique_fallback.and_then(|m| {
-                    Topology::pegasus_like_clique_embedding(m, qubo.num_vars())
-                })
+                self.clique_fallback
+                    .and_then(|m| Topology::pegasus_like_clique_embedding(m, qubo.num_vars()))
             })
             .ok_or(AnnealError::EmbeddingFailed {
                 logical_vars: qubo.num_vars(),
@@ -204,8 +198,7 @@ impl AnnealerDevice {
         }
         let logical = scaled.to_ising();
         let strength = suggested_chain_strength(&logical) * self.chain_strength_scale;
-        let embedded: EmbeddedIsing =
-            embed_ising(&logical, embedding, &self.topology, strength);
+        let embedded: EmbeddedIsing = embed_ising(&logical, embedding, &self.topology, strength);
         // Split the reads across spin-reversal transforms; gauge 0 is
         // the identity so num_gauges = 1 preserves the plain behavior.
         let gauges = self.num_gauges.max(1);
@@ -235,8 +228,7 @@ impl AnnealerDevice {
                 let (mut assignment, broken_chains) = embedded.unembed(&ungauged);
                 let mut energy = qubo.energy(&assignment);
                 if self.postprocess {
-                    let (polished, e, _) =
-                        crate::postprocess::steepest_descent(qubo, &assignment);
+                    let (polished, e, _) = crate::postprocess::steepest_descent(qubo, &assignment);
                     assignment = polished;
                     energy = e;
                 }
@@ -356,10 +348,7 @@ mod tests {
         let a = dev.sample_qubo(&edge_qubo(), 10, 9).unwrap();
         let b = dev.sample_qubo(&edge_qubo(), 10, 9).unwrap();
         let key = |r: &AnnealResult| -> Vec<(Vec<bool>, u64)> {
-            r.samples
-                .iter()
-                .map(|s| (s.assignment.clone(), s.energy.to_bits()))
-                .collect()
+            r.samples.iter().map(|s| (s.assignment.clone(), s.energy.to_bits())).collect()
         };
         assert_eq!(key(&a), key(&b));
     }

@@ -303,10 +303,9 @@ fn trim_chains(logical_adj: &[Vec<usize>], topo: &Topology, chains: &mut [Vec<us
                 if chains[v].len() > 1 && connected_without(&chains[v], q) {
                     // Check edge coverage without q.
                     let covered = logical_adj[v].iter().all(|&u| {
-                        chains[v].iter().any(|&a| {
-                            a != q
-                                && topo.neighbors(a).iter().any(|&b| owner[b] == u)
-                        })
+                        chains[v]
+                            .iter()
+                            .any(|&a| a != q && topo.neighbors(a).iter().any(|&b| owner[b] == u))
                     });
                     if covered {
                         owner[q] = usize::MAX;
@@ -332,24 +331,17 @@ fn route_chain(
     rng: &mut StdRng,
 ) -> Option<()> {
     let nq = topo.num_qubits();
-    let placed: Vec<usize> = logical_adj[v]
-        .iter()
-        .copied()
-        .filter(|&u| !chains[u].is_empty())
-        .collect();
+    let placed: Vec<usize> =
+        logical_adj[v].iter().copied().filter(|&u| !chains[u].is_empty()).collect();
     if placed.is_empty() {
         // Seed at a cheap qubit with usable neighborhood.
         let start = rng.random_range(0..nq);
-        let q = (0..nq)
-            .map(|i| (start + i) % nq)
-            .min_by_key(|&q| {
-                (
-                    qubit_weight(usage[q], base),
-                    std::cmp::Reverse(
-                        topo.neighbors(q).iter().filter(|&&x| usage[x] == 0).count(),
-                    ),
-                )
-            })?;
+        let q = (0..nq).map(|i| (start + i) % nq).min_by_key(|&q| {
+            (
+                qubit_weight(usage[q], base),
+                std::cmp::Reverse(topo.neighbors(q).iter().filter(|&&x| usage[x] == 0).count()),
+            )
+        })?;
         usage[q] += 1;
         chains[v].push(q);
         return Some(());
@@ -401,9 +393,8 @@ fn route_chain(
     for ti in targets {
         let u = placed[ti];
         // Already adjacent?
-        let adjacent = chains[v]
-            .iter()
-            .any(|&a| topo.neighbors(a).iter().any(|&b| chains[u].contains(&b)));
+        let adjacent =
+            chains[v].iter().any(|&a| topo.neighbors(a).iter().any(|&b| chains[u].contains(&b)));
         if adjacent {
             continue;
         }
@@ -481,8 +472,8 @@ fn dijkstra_from_chain(
             continue;
         }
         for &x in topo.neighbors(q) {
-            let nd = d
-                .saturating_add(qubit_weight(usage[x], base).saturating_mul(jitter[x] as u64));
+            let nd =
+                d.saturating_add(qubit_weight(usage[x], base).saturating_mul(jitter[x] as u64));
             if nd < dist[x] {
                 dist[x] = nd;
                 parent[x] = q;
@@ -507,9 +498,7 @@ mod tests {
     }
 
     fn complete_adj(n: usize) -> Vec<Vec<usize>> {
-        (0..n)
-            .map(|u| (0..n).filter(|&v| v != u).collect())
-            .collect()
+        (0..n).map(|u| (0..n).filter(|&v| v != u).collect()).collect()
     }
 
     #[test]

@@ -62,11 +62,7 @@ impl Gauge {
 
     /// Undo the gauge on a sample drawn from the transformed problem.
     pub fn decode(&self, sample: &[bool]) -> Vec<bool> {
-        sample
-            .iter()
-            .zip(&self.flip)
-            .map(|(&s, &f)| s ^ f)
-            .collect()
+        sample.iter().zip(&self.flip).map(|(&s, &f)| s ^ f).collect()
     }
 }
 
@@ -103,8 +99,7 @@ mod tests {
             for bits in 0..16u64 {
                 let s: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
                 // Image of s under the gauge (flip masked spins).
-                let s_img: Vec<bool> =
-                    s.iter().enumerate().map(|(i, &v)| v ^ g.flips(i)).collect();
+                let s_img: Vec<bool> = s.iter().enumerate().map(|(i, &v)| v ^ g.flips(i)).collect();
                 assert!(
                     (ising.energy(&s) - transformed.energy(&s_img)).abs() < 1e-12,
                     "gauge broke energy at {bits:04b} (seed {seed})"

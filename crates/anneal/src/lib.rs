@@ -37,9 +37,9 @@
 
 pub mod chain;
 pub mod device;
+pub mod embed;
 pub mod gauge;
 pub mod postprocess;
-pub mod embed;
 pub mod sampler;
 pub mod timing;
 pub mod topology;

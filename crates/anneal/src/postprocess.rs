@@ -40,10 +40,7 @@ pub fn steepest_descent(q: &Qubo, assignment: &[bool]) -> (Vec<bool>, f64, usize
     let mut flips = 0usize;
     #[allow(clippy::while_let_loop)] // the break condition is on the value, not the pattern
     loop {
-        let Some((i, &d)) = delta
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        let Some((i, &d)) = delta.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         else {
             break;
         };

@@ -134,10 +134,7 @@ pub fn sample_ising_clustered(
     let compact_clusters: Vec<Vec<usize>> = clusters
         .iter()
         .map(|c| {
-            c.iter()
-                .filter(|&&q| index[q] != usize::MAX)
-                .map(|&q| index[q])
-                .collect::<Vec<usize>>()
+            c.iter().filter(|&&q| index[q] != usize::MAX).map(|&q| index[q]).collect::<Vec<usize>>()
         })
         .filter(|c: &Vec<usize>| c.len() >= 2)
         .collect();
@@ -154,13 +151,11 @@ pub fn sample_ising_clustered(
     (0..num_reads)
         .into_par_iter()
         .map(|read| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (read as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (read as u64).wrapping_mul(0x9e3779b97f4a7c15));
             // Per-read ICE perturbation.
-            let h: Vec<f64> = compact
-                .h
-                .iter()
-                .map(|&v| v + noise.h_sigma * gaussian(&mut rng))
-                .collect();
+            let h: Vec<f64> =
+                compact.h.iter().map(|&v| v + noise.h_sigma * gaussian(&mut rng)).collect();
             let adj: Vec<Vec<(usize, f64)>> = if noise.j_sigma == 0.0 {
                 compact.adj.clone()
             } else {
@@ -180,9 +175,8 @@ pub fn sample_ising_clustered(
                 adj
             };
             // Random initial spins.
-            let mut spin: Vec<f64> = (0..n)
-                .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
-                .collect();
+            let mut spin: Vec<f64> =
+                (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect();
             let mut in_cluster = vec![false; n];
             for &beta in &betas {
                 for i in 0..n {
@@ -257,10 +251,7 @@ mod tests {
         let ising = fm_chain(12);
         let samples = sample_ising(&ising, &SaParams::default(), &NoiseModel::ideal(), 20, 42);
         let ground = -(11.0);
-        let hits = samples
-            .iter()
-            .filter(|s| (ising.energy(s) - ground).abs() < 1e-9)
-            .count();
+        let hits = samples.iter().filter(|s| (ising.energy(s) - ground).abs() < 1e-9).count();
         assert!(hits >= 15, "only {hits}/20 reads reached the ground state");
     }
 
@@ -306,10 +297,7 @@ mod tests {
         }
         let noisy = NoiseModel { h_sigma: 0.0, j_sigma: 0.0, readout_flip: 0.2 };
         let samples = sample_ising(&ising, &SaParams::default(), &noisy, 10, 11);
-        let flips: usize = samples
-            .iter()
-            .map(|s| s.iter().filter(|&&b| !b).count())
-            .sum();
+        let flips: usize = samples.iter().map(|s| s.iter().filter(|&&b| !b).count()).sum();
         assert!(flips > 0, "readout noise should flip something across 640 readouts");
     }
 
@@ -335,11 +323,8 @@ mod tests {
             30,
             5,
         );
-        let best = |ss: &[Vec<bool>]| {
-            ss.iter()
-                .map(|s| ising.energy(s))
-                .fold(f64::INFINITY, f64::min)
-        };
+        let best =
+            |ss: &[Vec<bool>]| ss.iter().map(|s| ising.energy(s)).fold(f64::INFINITY, f64::min);
         assert!(best(&good) < best(&bad), "longer anneal should find lower energy");
     }
 }

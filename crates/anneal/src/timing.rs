@@ -67,8 +67,10 @@ mod tests {
     fn full_job_is_about_30ms() {
         let t = TimingModel::dwave_default();
         let total = t.qpu_access_time(100);
-        assert!(total >= Duration::from_millis(25) && total <= Duration::from_millis(35),
-            "expected ≈30 ms, got {total:?}");
+        assert!(
+            total >= Duration::from_millis(25) && total <= Duration::from_millis(35),
+            "expected ≈30 ms, got {total:?}"
+        );
     }
 
     #[test]

@@ -75,9 +75,8 @@ impl Topology {
         let cell = 2 * t;
         let num_qubits = m * n * cell;
         // qubit id = ((row * n) + col) * cell + shore*t + k
-        let id = |row: usize, col: usize, shore: usize, k: usize| {
-            (row * n + col) * cell + shore * t + k
-        };
+        let id =
+            |row: usize, col: usize, shore: usize, k: usize| (row * n + col) * cell + shore * t + k;
         let mut couplers = Vec::new();
         for row in 0..m {
             for col in 0..n {
@@ -122,9 +121,7 @@ impl Topology {
         let num_qubits = rows * cols * cell;
         // shore 0 = "vertical" (wires down columns),
         // shore 1 = "horizontal" (wires along rows).
-        let id = |r: usize, c: usize, shore: usize, k: usize| {
-            (r * cols + c) * cell + shore * 4 + k
-        };
+        let id = |r: usize, c: usize, shore: usize, k: usize| (r * cols + c) * cell + shore * 4 + k;
         let mut couplers = Vec::new();
         for r in 0..rows {
             for c in 0..cols {
@@ -202,9 +199,8 @@ impl Topology {
     /// A complete graph (useful for tests: every problem embeds with
     /// unit chains).
     pub fn complete(n: usize) -> Self {
-        let couplers: Vec<(usize, usize)> = (0..n)
-            .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
-            .collect();
+        let couplers: Vec<(usize, usize)> =
+            (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
         Topology::new(format!("complete({n})"), n, &couplers)
     }
 }
@@ -267,9 +263,8 @@ mod tests {
         let topo = Topology::pegasus_like(m);
         for k in [1usize, 4, 7, 12, 20] {
             let e = Topology::pegasus_like_clique_embedding(m, k).expect("fits");
-            let adj: Vec<Vec<usize>> = (0..k)
-                .map(|u| (0..k).filter(|&v| v != u).collect())
-                .collect();
+            let adj: Vec<Vec<usize>> =
+                (0..k).map(|u| (0..k).filter(|&v| v != u).collect()).collect();
             assert!(e.is_valid(&adj, &topo), "K{k} embedding invalid on m={m}");
             // Uniform L-shaped chains: 2g qubits each.
             let g = k.div_ceil(4);
@@ -289,9 +284,7 @@ mod tests {
         let topo = Topology::advantage_4_1();
         let k = 60;
         let e = Topology::pegasus_like_clique_embedding(16, k).expect("fits");
-        let adj: Vec<Vec<usize>> = (0..k)
-            .map(|u| (0..k).filter(|&v| v != u).collect())
-            .collect();
+        let adj: Vec<Vec<usize>> = (0..k).map(|u| (0..k).filter(|&v| v != u).collect()).collect();
         assert!(e.is_valid(&adj, &topo));
     }
 

@@ -64,13 +64,9 @@ fn bench_chain_strength_ablation(c: &mut Criterion) {
     for scale in [0.5f64, 1.0, 2.0] {
         let mut device = AnnealerDevice::advantage_4_1();
         device.chain_strength_scale = scale;
-        g.bench_with_input(
-            BenchmarkId::new("scale", format!("{scale}")),
-            &device,
-            |b, device| {
-                b.iter(|| device.sample_qubo(black_box(&compiled.qubo), 20, 3).unwrap())
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("scale", format!("{scale}")), &device, |b, device| {
+            b.iter(|| device.sample_qubo(black_box(&compiled.qubo), 20, 3).unwrap())
+        });
     }
     g.finish();
 }

@@ -46,13 +46,9 @@ fn bench_brute_force(c: &mut Criterion) {
     let mut g = c.benchmark_group("brute_force");
     g.sample_size(10);
     let mc = MaxCut::new(Graph::random_gnm(18, 36, 5)).program();
-    g.bench_function("max_cut_18", |b| {
-        b.iter(|| solve_brute(black_box(&mc)).unwrap())
-    });
+    g.bench_function("max_cut_18", |b| b.iter(|| solve_brute(black_box(&mc)).unwrap()));
     let sat = KSat::random_3sat(16, 40, 6).program_repeated();
-    g.bench_function("3sat_16", |b| {
-        b.iter(|| solve_brute(black_box(&sat)).unwrap())
-    });
+    g.bench_function("3sat_16", |b| b.iter(|| solve_brute(black_box(&sat)).unwrap()));
     g.finish();
 }
 

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nck_circuit::{
-    qaoa1_expectation, qaoa_circuit, qaoa_expectation_sim, transpile, CouplingMap,
-    GateModelDevice,
+    qaoa1_expectation, qaoa_circuit, qaoa_expectation_sim, transpile, CouplingMap, GateModelDevice,
 };
 use nck_qubo::Qubo;
 use std::hint::black_box;
@@ -43,9 +42,7 @@ fn bench_expectation(c: &mut Criterion) {
     }
     // Device scale: only the analytic path exists.
     let big = ring_qubo(65).to_ising();
-    g.bench_function("analytic_p1/65", |b| {
-        b.iter(|| qaoa1_expectation(black_box(&big), 0.4, 0.6))
-    });
+    g.bench_function("analytic_p1/65", |b| b.iter(|| qaoa1_expectation(black_box(&big), 0.4, 0.6)));
     g.finish();
 }
 

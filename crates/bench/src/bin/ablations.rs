@@ -36,11 +36,9 @@ fn main() {
     let oracle = OptimalityOracle::build(&program);
     let mut rows = Vec::new();
     for w in [1.0f64, 4.0, 16.0, 64.0, 256.0] {
-        let compiled = compile(
-            &program,
-            &CompilerOptions { hard_weight: Some(w), ..Default::default() },
-        )
-        .unwrap();
+        let compiled =
+            compile(&program, &CompilerOptions { hard_weight: Some(w), ..Default::default() })
+                .unwrap();
         let result = device.sample_qubo(&compiled.qubo, READS, 17).unwrap();
         let (mut opt, mut sub, mut inc) = (0, 0, 0);
         for s in &result.samples {
@@ -50,12 +48,7 @@ fn main() {
                 SolutionQuality::Incorrect => inc += 1,
             }
         }
-        rows.push(vec![
-            format!("{w}"),
-            format!("{opt}%"),
-            format!("{sub}%"),
-            format!("{inc}%"),
-        ]);
+        rows.push(vec![format!("{w}"), format!("{opt}%"), format!("{sub}%"), format!("{inc}%")]);
     }
     print_table(&["W", "optimal", "suboptimal", "incorrect"], &rows);
 
@@ -83,10 +76,7 @@ fn main() {
             format!("{inc}%"),
         ]);
     }
-    print_table(
-        &["strength x", "chain breaks", "optimal", "suboptimal", "incorrect"],
-        &rows,
-    );
+    print_table(&["strength x", "chain breaks", "optimal", "suboptimal", "incorrect"], &rows);
 
     // ----- 2b. sample post-processing ------------------------------
     println!("\nAblation 2b — steepest-descent sample polish (same problem,");
@@ -138,10 +128,9 @@ fn main() {
     println!("\nAblation 4 — 3-SAT encodings (n=10 vars, m=20 clauses):\n");
     let sat = KSat::random_3sat(10, 20, 5);
     let mut rows = Vec::new();
-    for (name, program) in [
-        ("dual-rail", sat.program_dual_rail()),
-        ("repeated-variable", sat.program_repeated()),
-    ] {
+    for (name, program) in
+        [("dual-rail", sat.program_dual_rail()), ("repeated-variable", sat.program_repeated())]
+    {
         let compiled = compile(&program, &CompilerOptions::default()).unwrap();
         let oracle = OptimalityOracle::build(&program);
         let result = device.sample_qubo(&compiled.qubo, READS, 29).unwrap();

@@ -47,19 +47,13 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["problem", "instance", "constraints", "depth", "result"],
-        &rows,
-    );
+    print_table(&["problem", "instance", "constraints", "depth", "result"], &rows);
 
     // Per-problem constraint↔depth correlation (the paper's "general
     // trend ... albeit at different rates per problem").
     let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
     for o in outcomes.iter().filter(|o| o.quality != "unmappable") {
-        series
-            .entry(o.problem.clone())
-            .or_default()
-            .push((o.constraints as f64, o.depth as f64));
+        series.entry(o.problem.clone()).or_default().push((o.constraints as f64, o.depth as f64));
     }
     println!("\nper-problem Pearson correlation (constraints vs depth):");
     let rows: Vec<Vec<String>> = series
@@ -68,16 +62,15 @@ fn main() {
             let slope = if pts.len() >= 2 {
                 let dx = pts.last().unwrap().0 - pts[0].0;
                 let dy = pts.last().unwrap().1 - pts[0].1;
-                if dx != 0.0 { dy / dx } else { 0.0 }
+                if dx != 0.0 {
+                    dy / dx
+                } else {
+                    0.0
+                }
             } else {
                 0.0
             };
-            vec![
-                name.clone(),
-                pts.len().to_string(),
-                fmt_f(pearson(pts), 3),
-                fmt_f(slope, 2),
-            ]
+            vec![name.clone(), pts.len().to_string(), fmt_f(pearson(pts), 3), fmt_f(slope, 2)]
         })
         .collect();
     print_table(&["problem", "points", "correlation", "depth/constraint"], &rows);

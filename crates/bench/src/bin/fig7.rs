@@ -16,15 +16,17 @@
 //!
 //! Run with: `cargo run --release -p nck-bench --bin fig7`
 
+use nck_anneal::AnnealerDevice;
 use nck_bench::{
     clique_chain_max_cut, clique_chain_min_vertex_cover, edge_scaling_graphs, print_table,
     vertex_scaling_graphs,
 };
-use nck_anneal::AnnealerDevice;
 use nck_classical::OptimalityOracle;
-use nck_compile::{compile, CompilerOptions};
 use nck_core::Program;
-use nck_problems::{CliqueCover, ExactCover, KSat, MapColoring, MaxCut, MinSetCover, MinVertexCover};
+use nck_exec::{AnnealerBackend, BackendMetrics, ExecutionPlan};
+use nck_problems::{
+    CliqueCover, ExactCover, KSat, MapColoring, MaxCut, MinSetCover, MinVertexCover,
+};
 
 const NUM_READS: usize = 100;
 
@@ -38,7 +40,8 @@ struct Outcome {
     pct_incorrect: f64,
 }
 
-/// Run one instance: compile, anneal 100 reads, classify.
+/// Run one instance through the unified pipeline: compile, anneal 100
+/// reads, classify every sample.
 fn run_instance(
     device: &AnnealerDevice,
     program: &Program,
@@ -46,26 +49,21 @@ fn run_instance(
     label: String,
     seed: u64,
 ) -> Option<Outcome> {
-    let compiled = compile(program, &CompilerOptions::default()).ok()?;
-    let result = device.sample_qubo(&compiled.qubo, NUM_READS, seed).ok()?;
-    let (mut opt, mut sub, mut inc) = (0usize, 0usize, 0usize);
-    for s in &result.samples {
-        let assignment = compiled.program_assignment(&s.assignment);
-        match oracle.classify(program, assignment) {
-            nck_core::SolutionQuality::Optimal => opt += 1,
-            nck_core::SolutionQuality::Suboptimal => sub += 1,
-            nck_core::SolutionQuality::Incorrect => inc += 1,
-        }
-    }
+    let plan = ExecutionPlan::new(program).with_oracle(oracle.clone());
+    let backend = AnnealerBackend::new(device.clone(), NUM_READS);
+    let report = plan.run(&backend, seed).ok()?;
+    let BackendMetrics::Annealer { physical_qubits, max_chain_length, .. } = report.metrics else {
+        return None;
+    };
     let pct = |c: usize| 100.0 * c as f64 / NUM_READS as f64;
     Some(Outcome {
         label,
-        logical: compiled.num_qubo_vars(),
-        physical: result.physical_qubits,
-        max_chain: result.embedding.max_chain_length(),
-        pct_optimal: pct(opt),
-        pct_suboptimal: pct(sub),
-        pct_incorrect: pct(inc),
+        logical: report.compiled.num_qubo_vars(),
+        physical: physical_qubits,
+        max_chain: max_chain_length,
+        pct_optimal: pct(report.tally.optimal),
+        pct_suboptimal: pct(report.tally.suboptimal),
+        pct_incorrect: pct(report.tally.incorrect),
     })
 }
 
@@ -99,9 +97,7 @@ fn main() {
     for (i, g) in vertex_scaling_graphs().into_iter().enumerate() {
         let k = g.num_vertices() / 3;
         let problem = MaxCut::new(g.clone());
-        let oracle = OptimalityOracle {
-            max_soft: Some(clique_chain_max_cut(k) as u64),
-        };
+        let oracle = OptimalityOracle { max_soft: Some(clique_chain_max_cut(k) as u64) };
         if let Some(o) = run_instance(
             &device,
             &problem.program(),

@@ -18,14 +18,7 @@ fn main() {
     let outcomes = run_gate_study(4000, 30);
     let rows: Vec<Vec<String>> = outcomes
         .iter()
-        .map(|o| {
-            vec![
-                o.problem.clone(),
-                o.label.clone(),
-                o.qubits.to_string(),
-                o.quality.clone(),
-            ]
-        })
+        .map(|o| vec![o.problem.clone(), o.label.clone(), o.qubits.to_string(), o.quality.clone()])
         .collect();
     print_table(&["problem", "instance", "qubits", "result"], &rows);
 }

@@ -32,8 +32,5 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["problem", "instance", "depth", "swaps", "fidelity", "result"],
-        &rows,
-    );
+    print_table(&["problem", "instance", "depth", "swaps", "fidelity", "result"], &rows);
 }

@@ -17,7 +17,13 @@ use nck_problems::{
 use nck_qubo::{solve_exhaustive, Qubo};
 use std::collections::HashSet;
 
-fn compare(name: &str, program: &Program, hand: &Qubo, comparable: bool, rows: &mut Vec<Vec<String>>) {
+fn compare(
+    name: &str,
+    program: &Program,
+    hand: &Qubo,
+    comparable: bool,
+    rows: &mut Vec<Vec<String>>,
+) {
     let compiled = compile(program, &CompilerOptions::default()).expect("compiles");
     let gen = &compiled.qubo;
     let n = program.num_vars();
@@ -28,16 +34,8 @@ fn compare(name: &str, program: &Program, hand: &Qubo, comparable: bool, rows: &
         "n/a (diff. vars)".to_string()
     } else if compiled.num_qubo_vars() <= 22 && hand.num_vars() <= 22 {
         let mask = (1u64 << n) - 1;
-        let a: HashSet<u64> = solve_exhaustive(gen)
-            .minimizers
-            .iter()
-            .map(|&b| b & mask)
-            .collect();
-        let b: HashSet<u64> = solve_exhaustive(hand)
-            .minimizers
-            .iter()
-            .map(|&b| b & mask)
-            .collect();
+        let a: HashSet<u64> = solve_exhaustive(gen).minimizers.iter().map(|&b| b & mask).collect();
+        let b: HashSet<u64> = solve_exhaustive(hand).minimizers.iter().map(|&b| b & mask).collect();
         if a == b {
             "yes".to_string()
         } else {
@@ -50,11 +48,7 @@ fn compare(name: &str, program: &Program, hand: &Qubo, comparable: bool, rows: &
         name.to_string(),
         n.to_string(),
         format!("{} (+{} anc)", compiled.num_qubo_vars(), compiled.num_ancillas),
-        format!(
-            "{} (+{} anc)",
-            hand.num_vars(),
-            hand.num_vars().saturating_sub(n)
-        ),
+        format!("{} (+{} anc)", hand.num_vars(), hand.num_vars().saturating_sub(n)),
         gen.num_terms().to_string(),
         hand.num_terms().to_string(),
         ground_match,
@@ -67,10 +61,7 @@ fn main() {
     compare("Min. Vertex Cover", &mvc.program(), &mvc.handcrafted_qubo(), true, &mut rows);
     let mc = MaxCut::new(Graph::cycle(6));
     compare("Max Cut", &mc.program(), &mc.handcrafted_qubo(), true, &mut rows);
-    let ec = ExactCover::new(
-        4,
-        vec![vec![0, 1], vec![2, 3], vec![1, 2], vec![0, 1, 2], vec![3]],
-    );
+    let ec = ExactCover::new(4, vec![vec![0, 1], vec![2, 3], vec![1, 2], vec![0, 1, 2], vec![3]]);
     compare("Exact Cover", &ec.program(), &ec.handcrafted_qubo(), true, &mut rows);
     let msc = MinSetCover::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]);
     compare("Min. Set Cover", &msc.program(), &msc.handcrafted_qubo(), true, &mut rows);
@@ -79,7 +70,13 @@ fn main() {
     let cc = CliqueCover::new(Graph::new(4, [(0, 1), (2, 3)]), 2);
     compare("Clique Cover", &cc.program(), &cc.handcrafted_qubo(), true, &mut rows);
     let sat = KSat::random_3sat(4, 4, 7);
-    compare("3-SAT (dual rail)", &sat.program_dual_rail(), &sat.handcrafted_qubo(), false, &mut rows);
+    compare(
+        "3-SAT (dual rail)",
+        &sat.program_dual_rail(),
+        &sat.handcrafted_qubo(),
+        false,
+        &mut rows,
+    );
 
     println!("§VI-B — generated vs handcrafted QUBOs");
     println!("(the paper: identical except SAT and min set cover, where the two");

@@ -103,13 +103,7 @@ fn main() {
     for k in [4usize, 8] {
         let g = Graph::clique_chain(k);
         let size = format!("|V|={}, |E|={}", g.num_vertices(), g.num_edges());
-        rows.push(row(
-            "Max Cut",
-            "NP-H",
-            "1 / |E| / |E|+|V|",
-            size,
-            MaxCut::new(g).counts(),
-        ));
+        rows.push(row("Max Cut", "NP-H", "1 / |E| / |E|+|V|", size, MaxCut::new(g).counts()));
     }
     println!("Table I — complexity comparison (measured on concrete instances)");
     println!("asymptotics column: non-symmetric / NchooseK constraints / QUBO terms\n");

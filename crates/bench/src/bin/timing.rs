@@ -1,5 +1,6 @@
-//! §VIII-C timing: the D-Wave access-time breakdown and the compiler's
-//! symmetric-constraint cache ablation.
+//! §VIII-C timing: the per-stage pipeline breakdown, the D-Wave
+//! access-time model, and the compiler's symmetric-constraint cache
+//! ablation.
 //!
 //! The paper reports (a) ≈30 ms of QPU time per 100-sample job, with
 //! the samples together costing slightly less than the single ~15 ms
@@ -7,24 +8,70 @@
 //! "redundantly computes QUBOs for symmetric constraints instead of
 //! caching", making compilation 40–50× slower than a direct classical
 //! solve. Our compiler has the cache; disabling it reproduces the
-//! paper's waste.
+//! paper's waste. The per-stage CSV comes straight from the execution
+//! pipeline's [`StageTimings`] instrumentation: one row per stage per
+//! run, with the compile stage collapsing to the cache-probe cost
+//! after the first seed.
 //!
 //! Run with: `cargo run --release -p nck-bench --bin timing`
 
-use nck_anneal::TimingModel;
+use nck_anneal::{AnnealerDevice, TimingModel};
 use nck_bench::{fmt_f, print_table};
 use nck_classical::{solve, SolverOptions};
 use nck_compile::{compile, CompilerOptions};
+use nck_exec::{AnnealerBackend, ClassicalBackend, ExecutionPlan, StageTimings};
 use nck_problems::{Graph, MinVertexCover};
 use std::time::Instant;
 
 fn main() {
+    // --- Per-stage pipeline breakdown ----------------------------
+    // Min vertex cover on a 16-vertex circulant graph, annealed over a
+    // 5-seed sweep plus one classical run, all through one plan: the
+    // program compiles once (every later row's compile stage is the
+    // cache probe) and the annealer re-embeds only on the first seed.
+    println!("Per-stage wall times (one CSV row per stage per run):");
+    let g = Graph::circulant(16, 4);
+    let program = MinVertexCover::new(g).program();
+    let plan = ExecutionPlan::new(&program);
+    let annealer = AnnealerBackend::new(AnnealerDevice::advantage_4_1(), 100);
+    print!("{}", StageTimings::CSV_HEADER);
+    println!(",compile_cache,embed_cache");
+    let emit = |label: String, t: &StageTimings| {
+        for line in t.csv_rows(&label).lines() {
+            println!("{line},{},{}", t.compile_cache_hit, t.embed_cache_hit);
+        }
+    };
+    match plan.run_seeds(&annealer, &[11, 12, 13, 14, 15]) {
+        Ok(reports) => {
+            for (i, r) in reports.iter().enumerate() {
+                emit(format!("annealer/seed{}", 11 + i), &r.timings);
+            }
+        }
+        Err(e) => println!("# annealer sweep failed: {e}"),
+    }
+    match plan.run(&ClassicalBackend::default(), 0) {
+        Ok(r) => emit("classical".to_string(), &r.timings),
+        Err(e) => println!("# classical run failed: {e}"),
+    }
+    let stats = plan.stats();
+    println!(
+        "# plan cache: {} compile(s), {} compile cache hit(s), {} oracle build(s)",
+        stats.compiles, stats.compile_cache_hits, stats.oracle_builds
+    );
+    println!();
+
     // --- D-Wave access time model --------------------------------
     let t = TimingModel::dwave_default();
     println!("D-Wave Advantage access-time model (§VIII-C):");
     println!("  programming step       : {:?}", t.programming);
-    println!("  per sample             : {:?} (20 µs anneal + 3.5x readout + 20 µs delay)", t.per_sample());
-    println!("  100 samples            : {:?} (slightly less than programming)", t.per_sample() * 100);
+    println!(
+        "  per sample             : {:?} (20 µs anneal + 3.5x readout + 20 µs delay)",
+        t.per_sample()
+    );
+    println!(
+        "  100 samples            : {:?} (slightly less than programming)",
+        t.per_sample() * 100
+    );
     println!("  post-processing        : {:?}", t.postprocess);
     println!("  total per 100-read job : {:?} (paper: ~30 ms)", t.qpu_access_time(100));
     println!();

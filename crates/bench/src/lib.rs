@@ -24,10 +24,7 @@ pub fn vertex_scaling_graphs() -> Vec<Graph> {
 /// The paper's *edge scaling* study (§VII): 12 vertices, 18 edges
 /// (four cliques) up to 63 edges.
 pub fn edge_scaling_graphs() -> Vec<Graph> {
-    [18, 24, 30, 37, 42, 48, 55, 63]
-        .into_iter()
-        .map(Graph::edge_scaling)
-        .collect()
+    [18, 24, 30, 37, 42, 48, 55, 63].into_iter().map(Graph::edge_scaling).collect()
 }
 
 /// Classify a batch of program-variable samples and return
@@ -107,8 +104,8 @@ pub fn clique_chain_max_cut(k: usize) -> usize {
             for p in 0..8u32 {
                 // Connectors: (prev base+2, base) and (prev base+1,
                 // base+1).
-                let conn = usize::from((p >> 2) & 1 != s & 1)
-                    + usize::from((p >> 1) & 1 != (s >> 1) & 1);
+                let conn =
+                    usize::from((p >> 2) & 1 != s & 1) + usize::from((p >> 1) & 1 != (s >> 1) & 1);
                 best = best.max(dp[p as usize] + conn);
             }
             *v = best + tri_cut(s);
@@ -129,9 +126,8 @@ pub fn clique_chain_min_vertex_cover(k: usize) -> usize {
         s.count_ones() >= 2
     };
     let inf = usize::MAX / 2;
-    let mut dp: Vec<usize> = (0..8u32)
-        .map(|s| if covers_triangle(s) { s.count_ones() as usize } else { inf })
-        .collect();
+    let mut dp: Vec<usize> =
+        (0..8u32).map(|s| if covers_triangle(s) { s.count_ones() as usize } else { inf }).collect();
     for _ in 1..k {
         let mut next = vec![inf; 8];
         for (si, v) in next.iter_mut().enumerate() {
@@ -184,12 +180,16 @@ pub struct GateOutcome {
 
 /// Run the shared gate-model study: every problem family scaled until
 /// it no longer fits the 65-qubit device, one QAOA (p = 1, 4000 shots)
-/// execution each. Figs. 8, 9, and 10 print different columns of this
-/// table.
+/// execution each through the unified [`Backend`] pipeline. Figs. 8,
+/// 9, and 10 print different columns of this table.
+///
+/// [`Backend`]: nck_exec::Backend
 pub fn run_gate_study(shots: usize, max_iter: usize) -> Vec<GateOutcome> {
     use nck_circuit::GateModelDevice;
-    use nck_compile::{compile, CompilerOptions};
-    use nck_problems::{CliqueCover, ExactCover, KSat, MapColoring, MaxCut, MinSetCover, MinVertexCover};
+    use nck_exec::{BackendMetrics, ExecError, ExecutionPlan, GateModelBackend};
+    use nck_problems::{
+        CliqueCover, ExactCover, KSat, MapColoring, MaxCut, MinSetCover, MinVertexCover,
+    };
 
     let device = GateModelDevice::ibmq_brooklyn();
     let mut out = Vec::new();
@@ -198,50 +198,40 @@ pub fn run_gate_study(shots: usize, max_iter: usize) -> Vec<GateOutcome> {
                    program: &Program,
                    oracle: &OptimalityOracle,
                    seed: u64| {
-        let Ok(compiled) = compile(program, &CompilerOptions::default()) else {
+        let plan = ExecutionPlan::new(program).with_oracle(oracle.clone());
+        let Ok(compiled) = plan.compiled() else {
             return;
         };
-        // The packed large-register sampler handles ≤ 64 variables; the
-        // device itself stops at 65.
-        if compiled.num_qubo_vars() > 64 {
-            out.push(GateOutcome {
-                problem: problem.to_string(),
-                label,
-                constraints: program.constraints().len(),
-                qubits: compiled.num_qubo_vars(),
-                depth: 0,
-                num_swaps: 0,
-                fidelity: 0.0,
-                quality: "unmappable".to_string(),
-            });
-            return;
-        }
-        match device.run_qaoa(&compiled.qubo, 1, shots, max_iter, seed) {
-            Ok(r) => {
-                let assignment = compiled.program_assignment(&r.best_assignment);
-                let quality = oracle.classify(program, assignment).to_string();
-                out.push(GateOutcome {
-                    problem: problem.to_string(),
-                    label,
-                    constraints: program.constraints().len(),
-                    qubits: r.qubits_used,
-                    depth: r.depth,
-                    num_swaps: r.num_swaps,
-                    fidelity: r.fidelity,
-                    quality,
-                });
+        let backend = GateModelBackend::new(device.clone(), 1, shots, max_iter);
+        let mut outcome = GateOutcome {
+            problem: problem.to_string(),
+            label,
+            constraints: program.constraints().len(),
+            qubits: compiled.num_qubo_vars(),
+            depth: 0,
+            num_swaps: 0,
+            fidelity: 0.0,
+            quality: String::new(),
+        };
+        match plan.run(&backend, seed) {
+            Ok(report) => {
+                if let BackendMetrics::GateModel {
+                    qubits_used, depth, num_swaps, fidelity, ..
+                } = report.metrics
+                {
+                    outcome.qubits = qubits_used;
+                    outcome.depth = depth;
+                    outcome.num_swaps = num_swaps;
+                    outcome.fidelity = fidelity;
+                }
+                outcome.quality = report.quality.to_string();
             }
-            Err(e) => out.push(GateOutcome {
-                problem: problem.to_string(),
-                label,
-                constraints: program.constraints().len(),
-                qubits: compiled.num_qubo_vars(),
-                depth: 0,
-                num_swaps: 0,
-                fidelity: 0.0,
-                quality: format!("error: {e}"),
-            }),
+            // The packed large-register sampler handles ≤ 64 variables;
+            // the device itself stops at 65.
+            Err(ExecError::TooLarge { .. }) => outcome.quality = "unmappable".to_string(),
+            Err(e) => outcome.quality = format!("error: {e}"),
         }
+        out.push(outcome);
     };
 
     // Max cut and min vertex cover over vertex scaling (fit up to 63
@@ -250,7 +240,13 @@ pub fn run_gate_study(shots: usize, max_iter: usize) -> Vec<GateOutcome> {
         let k = g.num_vertices() / 3;
         let label = format!("|V|={}", g.num_vertices());
         let mc_oracle = OptimalityOracle { max_soft: Some(clique_chain_max_cut(k) as u64) };
-        run("Max Cut", label.clone(), &MaxCut::new(g.clone()).program(), &mc_oracle, 1000 + i as u64);
+        run(
+            "Max Cut",
+            label.clone(),
+            &MaxCut::new(g.clone()).program(),
+            &mc_oracle,
+            1000 + i as u64,
+        );
         let vc_oracle = OptimalityOracle {
             max_soft: Some((g.num_vertices() - clique_chain_min_vertex_cover(k)) as u64),
         };
@@ -320,11 +316,7 @@ mod tests {
             let g = Graph::clique_chain(k);
             let n = g.num_vertices();
             let mc = solve_brute(&MaxCut::new(g.clone()).program()).unwrap();
-            assert_eq!(
-                clique_chain_max_cut(k) as u64,
-                mc.max_soft,
-                "max cut mismatch at k={k}"
-            );
+            assert_eq!(clique_chain_max_cut(k) as u64, mc.max_soft, "max cut mismatch at k={k}");
             let vc = solve_brute(&MinVertexCover::new(g).program()).unwrap();
             let min_cover = n - vc.max_soft as usize;
             assert_eq!(

@@ -31,10 +31,7 @@ pub fn qaoa1_expectation(ising: &Ising, beta: f64, gamma: f64) -> f64 {
         j[b].push((a, c));
     }
     let coupling = |a: usize, b: usize| -> f64 {
-        j[a].iter()
-            .find(|&&(k, _)| k == b)
-            .map(|&(_, c)| c)
-            .unwrap_or(0.0)
+        j[a].iter().find(|&&(k, _)| k == b).map(|&(_, c)| c).unwrap_or(0.0)
     };
     let s2b = (2.0 * beta).sin();
     let s4b = (4.0 * beta).sin();

@@ -78,9 +78,8 @@ impl CouplingMap {
     /// Fully-connected map (ideal device; transpilation inserts no
     /// SWAPs).
     pub fn full(num_qubits: usize) -> Self {
-        let edges: Vec<(usize, usize)> = (0..num_qubits)
-            .flat_map(|a| (a + 1..num_qubits).map(move |b| (a, b)))
-            .collect();
+        let edges: Vec<(usize, usize)> =
+            (0..num_qubits).flat_map(|a| (a + 1..num_qubits).map(move |b| (a, b))).collect();
         CouplingMap::new(format!("full({num_qubits})"), num_qubits, &edges)
     }
 

@@ -62,10 +62,7 @@ pub fn grover_search(
         // Diffusion: reflect about the uniform state, 2|ψ₀⟩⟨ψ₀| − I.
         s.reflect_about_mean();
     }
-    let success_probability: f64 = (0..n)
-        .filter(|&i| predicate(i as u64))
-        .map(|i| s.prob(i))
-        .sum();
+    let success_probability: f64 = (0..n).filter(|&i| predicate(i as u64)).map(|i| s.prob(i)).sum();
     let mut rng = StdRng::seed_from_u64(seed);
     let bits = s.sample(&mut rng);
     GroverResult {

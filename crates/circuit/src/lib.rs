@@ -62,4 +62,4 @@ pub use qaoa::{
 };
 pub use qasm::to_qasm;
 pub use state::StateVector;
-pub use transpile::{transpile, Transpiled, TranspileError};
+pub use transpile::{transpile, TranspileError, Transpiled};

@@ -246,12 +246,7 @@ mod tests {
             s.run(c);
             [0b001usize, 0b010, 0b100].iter().map(|&i| s.prob(i)).sum()
         };
-        let xy = qaoa_circuit_with_mixer(
-            &ising,
-            &[0.5],
-            &[0.6],
-            &Mixer::XyRings { groups },
-        );
+        let xy = qaoa_circuit_with_mixer(&ising, &[0.5], &[0.6], &Mixer::XyRings { groups });
         let tf = qaoa_circuit_with_mixer(&ising, &[0.5], &[0.6], &Mixer::TransverseField);
         assert!((feasible_mass(&xy) - 1.0).abs() < 1e-9);
         assert!(feasible_mass(&tf) < 0.9, "transverse mixer should leak");

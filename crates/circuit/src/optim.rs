@@ -61,30 +61,21 @@ pub fn nelder_mead(
             }
         }
         let worst = simplex[n].clone();
-        let reflect: Vec<f64> = centroid
-            .iter()
-            .zip(&worst.0)
-            .map(|(c, w)| c + alpha * (c - w))
-            .collect();
+        let reflect: Vec<f64> =
+            centroid.iter().zip(&worst.0).map(|(c, w)| c + alpha * (c - w)).collect();
         let fr = eval(&reflect, &mut evals);
         if fr < simplex[0].1 {
             // Try expanding.
-            let expand: Vec<f64> = centroid
-                .iter()
-                .zip(&reflect)
-                .map(|(c, r)| c + gamma * (r - c))
-                .collect();
+            let expand: Vec<f64> =
+                centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
             let fe = eval(&expand, &mut evals);
             simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
         } else if fr < simplex[n - 1].1 {
             simplex[n] = (reflect, fr);
         } else {
             // Contract toward the centroid.
-            let contract: Vec<f64> = centroid
-                .iter()
-                .zip(&worst.0)
-                .map(|(c, w)| c + rho * (w - c))
-                .collect();
+            let contract: Vec<f64> =
+                centroid.iter().zip(&worst.0).map(|(c, w)| c + rho * (w - c)).collect();
             let fc = eval(&contract, &mut evals);
             if fc < worst.1 {
                 simplex[n] = (contract, fc);
@@ -92,11 +83,8 @@ pub fn nelder_mead(
                 // Shrink toward the best point.
                 let best = simplex[0].0.clone();
                 for entry in &mut simplex[1..] {
-                    let x: Vec<f64> = best
-                        .iter()
-                        .zip(&entry.0)
-                        .map(|(b, v)| b + sigma * (v - b))
-                        .collect();
+                    let x: Vec<f64> =
+                        best.iter().zip(&entry.0).map(|(b, v)| b + sigma * (v - b)).collect();
                     let fx = eval(&x, &mut evals);
                     *entry = (x, fx);
                 }
@@ -123,8 +111,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock() {
-        let mut f =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let mut f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = nelder_mead(&mut f, &[-1.2, 1.0], 0.5, 2000, 1e-14);
         assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
         assert!((r.x[1] - 1.0).abs() < 1e-3);

@@ -64,23 +64,29 @@ impl StateVector {
         match g {
             Gate::H(q) => {
                 let s = std::f64::consts::FRAC_1_SQRT_2;
-                self.single_qubit(q, [
-                    [Complex::new(s, 0.0), Complex::new(s, 0.0)],
-                    [Complex::new(s, 0.0), Complex::new(-s, 0.0)],
-                ]);
+                self.single_qubit(
+                    q,
+                    [
+                        [Complex::new(s, 0.0), Complex::new(s, 0.0)],
+                        [Complex::new(s, 0.0), Complex::new(-s, 0.0)],
+                    ],
+                );
             }
             Gate::X(q) => {
-                self.single_qubit(q, [
-                    [Complex::ZERO, Complex::ONE],
-                    [Complex::ONE, Complex::ZERO],
-                ]);
+                self.single_qubit(
+                    q,
+                    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+                );
             }
             Gate::Rx(q, t) => {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                self.single_qubit(q, [
-                    [Complex::new(c, 0.0), Complex::new(0.0, -s)],
-                    [Complex::new(0.0, -s), Complex::new(c, 0.0)],
-                ]);
+                self.single_qubit(
+                    q,
+                    [
+                        [Complex::new(c, 0.0), Complex::new(0.0, -s)],
+                        [Complex::new(0.0, -s), Complex::new(c, 0.0)],
+                    ],
+                );
             }
             Gate::Rz(q, t) => {
                 // diag(e^{−iθ/2}, e^{+iθ/2})
@@ -92,13 +98,7 @@ impl StateVector {
                 // diag phase e^{−iθ/2·(±1)} by the parity of bits a, b.
                 let even = Complex::cis(-t / 2.0);
                 let odd = Complex::cis(t / 2.0);
-                self.phase(|i| {
-                    if (i >> a & 1) ^ (i >> b & 1) == 1 {
-                        odd
-                    } else {
-                        even
-                    }
-                });
+                self.phase(|i| if (i >> a & 1) ^ (i >> b & 1) == 1 { odd } else { even });
             }
             Gate::Xy(a, b, t) => {
                 // Rotate in the span of |…0a…1b…⟩ and |…1a…0b…⟩:
@@ -189,10 +189,7 @@ impl StateVector {
 
     fn phase(&mut self, f: impl Fn(usize) -> Complex + Sync) {
         if self.amps.len() >= PAR_THRESHOLD {
-            self.amps
-                .par_iter_mut()
-                .enumerate()
-                .for_each(|(i, a)| *a = *a * f(i));
+            self.amps.par_iter_mut().enumerate().for_each(|(i, a)| *a = *a * f(i));
         } else {
             for (i, a) in self.amps.iter_mut().enumerate() {
                 *a = *a * f(i);
@@ -204,17 +201,9 @@ impl StateVector {
     /// energy over basis states).
     pub fn expectation_diagonal(&self, energy: impl Fn(u64) -> f64 + Sync) -> f64 {
         if self.amps.len() >= PAR_THRESHOLD {
-            self.amps
-                .par_iter()
-                .enumerate()
-                .map(|(i, a)| a.norm_sqr() * energy(i as u64))
-                .sum()
+            self.amps.par_iter().enumerate().map(|(i, a)| a.norm_sqr() * energy(i as u64)).sum()
         } else {
-            self.amps
-                .iter()
-                .enumerate()
-                .map(|(i, a)| a.norm_sqr() * energy(i as u64))
-                .sum()
+            self.amps.iter().enumerate().map(|(i, a)| a.norm_sqr() * energy(i as u64)).sum()
         }
     }
 
@@ -373,9 +362,7 @@ mod tests {
         small.apply(Gate::Rzz(0, 1, 0.3));
         // Compare marginals on the top two qubits.
         for pat in 0..4usize {
-            let p_big: f64 = (0..1usize << 13)
-                .map(|low| big.prob((pat << 13) | low))
-                .sum();
+            let p_big: f64 = (0..1usize << 13).map(|low| big.prob((pat << 13) | low)).sum();
             assert!(close(p_big, small.prob(pat)), "pattern {pat}");
         }
     }

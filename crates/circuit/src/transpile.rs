@@ -202,10 +202,7 @@ fn choose_layout(logical: &Circuit, map: &CouplingMap, dist: &[Vec<u32>]) -> Vec
             (0..map.num_qubits())
                 .filter(|&p| !used[p])
                 .min_by_key(|&p| {
-                    placed
-                        .iter()
-                        .map(|&(pp, w)| dist[p][pp] as u64 * w as u64)
-                        .sum::<u64>()
+                    placed.iter().map(|&(pp, w)| dist[p][pp] as u64 * w as u64).sum::<u64>()
                 })
                 .expect("enough qubits")
         };

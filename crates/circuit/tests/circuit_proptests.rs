@@ -10,8 +10,8 @@ use proptest::prelude::*;
 
 /// Strategy: a random circuit over `n` qubits from the full gate set.
 fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    let gate = (0usize..7, 0usize..n, 0usize..n, -3.0f64..3.0).prop_map(
-        move |(kind, a, b, theta)| {
+    let gate =
+        (0usize..7, 0usize..n, 0usize..n, -3.0f64..3.0).prop_map(move |(kind, a, b, theta)| {
             let b = if a == b { (b + 1) % n } else { b };
             match kind {
                 0 => Gate::H(a),
@@ -22,8 +22,7 @@ fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit
                 5 => Gate::Rzz(a, b, theta),
                 _ => Gate::Xy(a, b, theta),
             }
-        },
-    );
+        });
     prop::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
         let mut c = Circuit::new(n);
         for g in gates {

@@ -65,11 +65,8 @@ pub fn solve_brute(program: &Program) -> Option<BruteResult> {
         })
         .collect();
     let max_soft = locals.iter().map(|(b, _)| *b).max()?;
-    let mut optima: Vec<u64> = locals
-        .into_iter()
-        .filter(|(b, _)| *b == max_soft)
-        .flat_map(|(_, o)| o)
-        .collect();
+    let mut optima: Vec<u64> =
+        locals.into_iter().filter(|(b, _)| *b == max_soft).flat_map(|(_, o)| o).collect();
     optima.sort_unstable();
     Some(BruteResult { max_soft, optima })
 }

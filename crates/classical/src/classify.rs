@@ -41,10 +41,7 @@ impl OptimalityOracle {
         program: &Program,
         samples: impl IntoIterator<Item = &'a [bool]>,
     ) -> Option<SolutionQuality> {
-        samples
-            .into_iter()
-            .map(|s| self.classify(program, s))
-            .max()
+        samples.into_iter().map(|s| self.classify(program, s)).max()
     }
 
     /// Fraction of samples at each quality: `(optimal, suboptimal,
@@ -93,34 +90,20 @@ mod tests {
             SolutionQuality::Optimal
         );
         // Full cover: all hard satisfied, 0 soft: suboptimal.
-        assert_eq!(
-            oracle.classify(&p, &[true; 5]),
-            SolutionQuality::Suboptimal
-        );
+        assert_eq!(oracle.classify(&p, &[true; 5]), SolutionQuality::Suboptimal);
         // Empty set: edges uncovered: incorrect.
-        assert_eq!(
-            oracle.classify(&p, &[false; 5]),
-            SolutionQuality::Incorrect
-        );
+        assert_eq!(oracle.classify(&p, &[false; 5]), SolutionQuality::Incorrect);
     }
 
     #[test]
     fn best_of_samples() {
         let p = vertex_cover_program();
         let oracle = OptimalityOracle::build(&p);
-        let samples: Vec<Vec<bool>> = vec![
-            vec![false; 5],
-            vec![true; 5],
-            vec![false, true, true, true, false],
-        ];
-        let best = oracle
-            .best_of(&p, samples.iter().map(Vec::as_slice))
-            .unwrap();
+        let samples: Vec<Vec<bool>> =
+            vec![vec![false; 5], vec![true; 5], vec![false, true, true, true, false]];
+        let best = oracle.best_of(&p, samples.iter().map(Vec::as_slice)).unwrap();
         assert_eq!(best, SolutionQuality::Optimal);
-        assert_eq!(
-            oracle.tally(&p, samples.iter().map(Vec::as_slice)),
-            (1, 1, 1)
-        );
+        assert_eq!(oracle.tally(&p, samples.iter().map(Vec::as_slice)), (1, 1, 1));
     }
 
     #[test]

@@ -68,9 +68,8 @@ pub fn minimize(q: &Qubo, opts: &QuboBbOptions) -> (QuboBbResult, QuboBbStats) {
     // Branch on high-degree / large-coefficient variables first: they
     // tighten the bound fastest.
     let mut order: Vec<usize> = (0..n).collect();
-    let weight = |v: usize| -> f64 {
-        q.linear(v).abs() + couplings[v].iter().map(|c| c.abs()).sum::<f64>()
-    };
+    let weight =
+        |v: usize| -> f64 { q.linear(v).abs() + couplings[v].iter().map(|c| c.abs()).sum::<f64>() };
     order.sort_by(|&a, &b| weight(b).partial_cmp(&weight(a)).unwrap());
     let mut bb = Bb {
         q,
@@ -84,10 +83,7 @@ pub fn minimize(q: &Qubo, opts: &QuboBbOptions) -> (QuboBbResult, QuboBbStats) {
     let mut assigned = vec![false; n];
     bb.search(0, q.offset(), &mut assigned);
     bb.stats.elapsed = start.elapsed();
-    (
-        QuboBbResult { min_energy: bb.best_energy, assignment: bb.best.clone() },
-        bb.stats,
-    )
+    (QuboBbResult { min_energy: bb.best_energy, assignment: bb.best.clone() }, bb.stats)
 }
 
 impl Bb<'_> {
@@ -253,10 +249,6 @@ mod tests {
         }
         let (res, stats) = minimize(&q, &QuboBbOptions::default());
         assert_eq!(res.assignment, vec![true; n]);
-        assert!(
-            stats.nodes < 1 << (n - 2),
-            "expected pruning, explored {} nodes",
-            stats.nodes
-        );
+        assert!(stats.nodes < 1 << (n - 2), "expected pruning, explored {} nodes", stats.nodes);
     }
 }

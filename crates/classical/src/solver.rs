@@ -115,12 +115,7 @@ pub fn solve(program: &Program, opts: &SolverOptions) -> (SolveOutcome, SolveSta
     let constraints = program.constraints();
     let members: Vec<Vec<(usize, u32)>> = constraints
         .iter()
-        .map(|c| {
-            c.multiplicities()
-                .into_iter()
-                .map(|(v, m)| (v.index(), m))
-                .collect()
-        })
+        .map(|c| c.multiplicities().into_iter().map(|(v, m)| (v.index(), m)).collect())
         .collect();
     let mut by_var: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
     for (ci, mem) in members.iter().enumerate() {
@@ -173,11 +168,9 @@ pub fn solve(program: &Program, opts: &SolverOptions) -> (SolveOutcome, SolveSta
     search(&ctx, &mut state);
     state.stats.elapsed = start.elapsed();
     let outcome = match state.best.take() {
-        Some((assignment, soft, weight)) => SolveOutcome::Solved {
-            assignment,
-            soft_satisfied: soft,
-            soft_weight: weight,
-        },
+        Some((assignment, soft, weight)) => {
+            SolveOutcome::Solved { assignment, soft_satisfied: soft, soft_weight: weight }
+        }
         None => SolveOutcome::Unsatisfiable,
     };
     (outcome, state.stats)
@@ -357,8 +350,7 @@ fn matching_bound(ctx: &Ctx<'_>, state: &State, used: &mut [bool]) -> u64 {
             .filter(|&&(v, _)| state.assigned[v].is_none())
             .map(|&(v, _)| v)
             .collect();
-        if unassigned.is_empty()
-            || unassigned.iter().any(|&v| used[v] || ctx.prefer_false[v] == 0)
+        if unassigned.is_empty() || unassigned.iter().any(|&v| used[v] || ctx.prefer_false[v] == 0)
         {
             continue;
         }
@@ -427,10 +419,7 @@ mod tests {
         match (outcome, solve_brute(p)) {
             (SolveOutcome::Unsatisfiable, None) => {}
             (SolveOutcome::Solved { assignment, soft_satisfied, soft_weight }, Some(brute)) => {
-                assert_eq!(
-                    soft_weight, brute.max_soft,
-                    "soft optimum mismatch on {p}"
-                );
+                assert_eq!(soft_weight, brute.max_soft, "soft optimum mismatch on {p}");
                 assert!(p.all_hard_satisfied(&assignment));
                 let ev = p.evaluate(&assignment);
                 assert_eq!(ev.soft_satisfied, soft_satisfied);

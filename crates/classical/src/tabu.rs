@@ -77,8 +77,7 @@ pub fn tabu_search(q: &Qubo, opts: &TabuOptions, seed: u64) -> TabuResult {
             let mut pick: Option<(f64, usize)> = None;
             for i in 0..n {
                 let admissible = tabu_until[i] <= step
-                    || energy + delta[i]
-                        < best.as_ref().map_or(f64::INFINITY, |(e, _)| *e);
+                    || energy + delta[i] < best.as_ref().map_or(f64::INFINITY, |(e, _)| *e);
                 if admissible && pick.is_none_or(|(d, _)| delta[i] < d) {
                     pick = Some((delta[i], i));
                 }

@@ -48,9 +48,7 @@ impl QuboCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(f()?);
         let mut map = self.map.write();
-        let entry = map
-            .entry((key.clone(), mode))
-            .or_insert_with(|| Arc::clone(&compiled));
+        let entry = map.entry((key.clone(), mode)).or_insert_with(|| Arc::clone(&compiled));
         Ok(Arc::clone(entry))
     }
 
@@ -125,9 +123,15 @@ mod tests {
     #[test]
     fn distinct_keys_compile_separately() {
         let cache = QuboCache::new();
-        let _ = cache.get_or_compile(&key(&[1, 1], &[1]), GapMode::AtLeastOne, || Ok(dummy(2))).unwrap();
-        let _ = cache.get_or_compile(&key(&[1, 1], &[0, 1]), GapMode::AtLeastOne, || Ok(dummy(2))).unwrap();
-        let _ = cache.get_or_compile(&key(&[1, 1, 1], &[1]), GapMode::AtLeastOne, || Ok(dummy(3))).unwrap();
+        let _ = cache
+            .get_or_compile(&key(&[1, 1], &[1]), GapMode::AtLeastOne, || Ok(dummy(2)))
+            .unwrap();
+        let _ = cache
+            .get_or_compile(&key(&[1, 1], &[0, 1]), GapMode::AtLeastOne, || Ok(dummy(2)))
+            .unwrap();
+        let _ = cache
+            .get_or_compile(&key(&[1, 1, 1], &[1]), GapMode::AtLeastOne, || Ok(dummy(3)))
+            .unwrap();
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.misses(), 3);
     }
@@ -136,7 +140,9 @@ mod tests {
     fn errors_are_not_cached() {
         let cache = QuboCache::new();
         let k = key(&[2], &[1]);
-        let r = cache.get_or_compile(&k, GapMode::AtLeastOne, || Err(CompileError::Unsatisfiable("x".into())));
+        let r = cache.get_or_compile(&k, GapMode::AtLeastOne, || {
+            Err(CompileError::Unsatisfiable("x".into()))
+        });
         assert!(r.is_err());
         assert!(cache.is_empty());
         // A later successful compile still works.
@@ -166,7 +172,8 @@ mod tests {
     #[test]
     fn clear_resets() {
         let cache = QuboCache::new();
-        let _ = cache.get_or_compile(&key(&[1], &[0]), GapMode::AtLeastOne, || Ok(dummy(1))).unwrap();
+        let _ =
+            cache.get_or_compile(&key(&[1], &[0]), GapMode::AtLeastOne, || Ok(dummy(1))).unwrap();
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.misses(), 0);

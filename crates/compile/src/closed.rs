@@ -19,11 +19,7 @@ pub fn closed_form(shape: &ConstraintShape) -> Option<CompiledQubo> {
     // Case 1: the selection covers every achievable weighted count —
     // the constraint is a tautology; the zero QUBO is exact.
     if achievable_counts(shape).iter().all(|c| shape.selection.contains(c)) {
-        return Some(CompiledQubo {
-            qubo: RationalQubo::new(d),
-            num_real: d,
-            num_ancillas: 0,
-        });
+        return Some(CompiledQubo { qubo: RationalQubo::new(d), num_real: d, num_ancillas: 0 });
     }
     // Case 2: single-element selection {k}: (Σ mᵢxᵢ − k)².
     if shape.selection.len() == 1 {
@@ -54,11 +50,7 @@ fn achievable_counts(shape: &ConstraintShape) -> Vec<u32> {
             }
         }
     }
-    sums.iter()
-        .enumerate()
-        .filter(|(_, &ok)| ok)
-        .map(|(s, _)| s as u32)
-        .collect()
+    sums.iter().enumerate().filter(|(_, &ok)| ok).map(|(s, _)| s as u32).collect()
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@
 use crate::cache::QuboCache;
 use crate::closed::closed_form;
 use crate::error::CompileError;
-use crate::search::{find_qubo_mode, verify_mode, CompiledQubo, ConstraintShape, GapMode, MAX_ANCILLAS};
+use crate::search::{
+    find_qubo_mode, verify_mode, CompiledQubo, ConstraintShape, GapMode, MAX_ANCILLAS,
+};
 use nck_core::{Constraint, Program, Var};
 use nck_qubo::Qubo;
 use nck_smt::Rational;
@@ -322,7 +324,8 @@ mod tests {
             let x: Vec<bool> = (0..pv).map(|i| bits >> i & 1 == 1).collect();
             if program.all_hard_satisfied(&x) {
                 let ev = program.evaluate(&x);
-                best_soft = Some(best_soft.map_or(ev.soft_satisfied, |b: usize| b.max(ev.soft_satisfied)));
+                best_soft =
+                    Some(best_soft.map_or(ev.soft_satisfied, |b: usize| b.max(ev.soft_satisfied)));
             }
         }
         let best_soft = best_soft.expect("program should be satisfiable");
@@ -338,9 +341,7 @@ mod tests {
         // And every optimal assignment must appear among projections.
         for bits in 0..1u64 << pv {
             let x: Vec<bool> = (0..pv).map(|i| bits >> i & 1 == 1).collect();
-            if program.all_hard_satisfied(&x)
-                && program.evaluate(&x).soft_satisfied == best_soft
-            {
+            if program.all_hard_satisfied(&x) && program.evaluate(&x).soft_satisfied == best_soft {
                 assert!(
                     projected.contains(&bits),
                     "optimal assignment {bits:b} missing from QUBO minimizers"
@@ -412,11 +413,7 @@ mod tests {
         let compiled = compile(&p, &opts()).unwrap();
         assert_eq!(compiled.stats.cache_misses, 1);
         assert_eq!(compiled.stats.cache_hits, 7);
-        let no_cache = compile(
-            &p,
-            &CompilerOptions { use_cache: false, ..opts() },
-        )
-        .unwrap();
+        let no_cache = compile(&p, &CompilerOptions { use_cache: false, ..opts() }).unwrap();
         assert_eq!(no_cache.stats.cache_hits, 0);
         // Same QUBO either way.
         assert_eq!(compiled.qubo, no_cache.qubo);
@@ -430,11 +427,8 @@ mod tests {
         let compiled = compile(&p, &opts()).unwrap();
         assert_eq!(compiled.stats.closed_form_hits, 1);
         assert_eq!(compiled.stats.smt_searches, 0);
-        let no_closed = compile(
-            &p,
-            &CompilerOptions { use_closed_forms: false, ..opts() },
-        )
-        .unwrap();
+        let no_closed =
+            compile(&p, &CompilerOptions { use_closed_forms: false, ..opts() }).unwrap();
         assert_eq!(no_closed.stats.smt_searches, 1);
         assert_ground_states_match(&p, &no_closed);
     }
@@ -444,10 +438,7 @@ mod tests {
         let mut p = Program::new();
         let a = p.new_var("a").unwrap();
         p.nck(vec![a, a], [1]).unwrap(); // {a,a} can only count 0 or 2
-        assert!(matches!(
-            compile(&p, &opts()),
-            Err(CompileError::Unsatisfiable(_))
-        ));
+        assert!(matches!(compile(&p, &opts()), Err(CompileError::Unsatisfiable(_))));
     }
 
     #[test]
@@ -465,11 +456,7 @@ mod tests {
         let vs = p.new_vars("v", 2).unwrap();
         p.nck(vec![vs[0], vs[1]], [1, 2]).unwrap();
         p.nck_soft(vec![vs[0]], [0]).unwrap();
-        let compiled = compile(
-            &p,
-            &CompilerOptions { hard_weight: Some(42.0), ..opts() },
-        )
-        .unwrap();
+        let compiled = compile(&p, &CompilerOptions { hard_weight: Some(42.0), ..opts() }).unwrap();
         assert_eq!(compiled.hard_weight, 42.0);
     }
 

@@ -24,10 +24,9 @@ impl fmt::Display for CompileError {
             CompileError::Unsatisfiable(what) => {
                 write!(f, "constraint is unsatisfiable: {what}")
             }
-            CompileError::NoQuboFound { ancillas_tried, shape } => write!(
-                f,
-                "no QUBO found for shape {shape} with up to {ancillas_tried} ancillas"
-            ),
+            CompileError::NoQuboFound { ancillas_tried, shape } => {
+                write!(f, "no QUBO found for shape {shape} with up to {ancillas_tried} ancillas")
+            }
         }
     }
 }

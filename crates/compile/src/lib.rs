@@ -47,4 +47,7 @@ pub use compiler::{
 };
 pub use error::CompileError;
 pub use rqubo::RationalQubo;
-pub use search::{find_qubo, find_qubo_mode, verify, verify_mode, CompiledQubo, ConstraintShape, GapMode, MAX_ANCILLAS};
+pub use search::{
+    find_qubo, find_qubo_mode, verify, verify_mode, CompiledQubo, ConstraintShape, GapMode,
+    MAX_ANCILLAS,
+};

@@ -70,10 +70,7 @@ impl RationalQubo {
 
     /// Quadratic coefficient of `xᵢxⱼ` (zero if absent).
     pub fn quadratic(&self, i: usize, j: usize) -> Rational {
-        self.quadratic
-            .get(&(i.min(j), i.max(j)))
-            .cloned()
-            .unwrap_or_else(Rational::zero)
+        self.quadratic.get(&(i.min(j), i.max(j))).cloned().unwrap_or_else(Rational::zero)
     }
 
     /// The constant offset.

@@ -188,8 +188,7 @@ pub fn find_qubo(shape: &ConstraintShape, max_ancillas: u32) -> Result<CompiledQ
 /// table (smaller coefficients → better hardware dynamic range and
 /// tables closer to handcrafted ones). On by default; exposed for the
 /// compile-time benchmarks.
-pub static SOLVE_MINIMIZE: std::sync::atomic::AtomicBool =
-    std::sync::atomic::AtomicBool::new(true);
+pub static SOLVE_MINIMIZE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
 
 /// Solve `problem` over `base_unknowns` coefficients, optionally
 /// appending one auxiliary `t_k ≥ |x_k|` per unknown and minimizing
@@ -351,18 +350,19 @@ fn count_vectors(groups: &[(u32, usize)]) -> Vec<Vec<usize>> {
     out
 }
 
-fn search_symmetric(shape: &ConstraintShape, num_anc: usize, mode: GapMode) -> Option<CompiledQubo> {
+fn search_symmetric(
+    shape: &ConstraintShape,
+    num_anc: usize,
+    mode: GapMode,
+) -> Option<CompiledQubo> {
     let layout = SymmetricLayout::new(shape, num_anc);
     // Twice the unknowns: the upper half is the |·|-bounding aux block
     // used by the L1 polish (unconstrained unless the polish runs).
     let mut problem = DisjunctiveProblem::new(2 * layout.num_unknowns);
     let one = Rational::one();
     for counts in count_vectors(&layout.groups) {
-        let weighted: u32 = counts
-            .iter()
-            .zip(&layout.groups)
-            .map(|(&t, &(mu, _))| t as u32 * mu)
-            .sum();
+        let weighted: u32 =
+            counts.iter().zip(&layout.groups).map(|(&t, &(mu, _))| t as u32 * mu).sum();
         let satisfying = shape.selection.contains(&weighted);
         let mut witnesses = Vec::new();
         for anc in 0..1u64 << num_anc {
@@ -514,10 +514,7 @@ mod tests {
     use super::*;
 
     fn shape(mults: &[u32], sel: &[u32]) -> ConstraintShape {
-        ConstraintShape {
-            multiplicities: mults.to_vec(),
-            selection: sel.iter().copied().collect(),
-        }
+        ConstraintShape { multiplicities: mults.to_vec(), selection: sel.iter().copied().collect() }
     }
 
     fn compile_ok(mults: &[u32], sel: &[u32]) -> CompiledQubo {

@@ -126,11 +126,7 @@ impl Constraint {
     /// variable id): the multiplicity-weighted count of TRUE variables
     /// is in the selection set.
     pub fn is_satisfied(&self, assignment: &[bool]) -> bool {
-        let count: u32 = self
-            .collection
-            .iter()
-            .map(|v| u32::from(assignment[v.index()]))
-            .sum();
+        let count: u32 = self.collection.iter().map(|v| u32::from(assignment[v.index()])).sum();
         self.selection.contains(&count)
     }
 
@@ -154,10 +150,7 @@ impl Constraint {
     /// True iff *some* assignment satisfies this constraint in
     /// isolation.
     pub fn is_satisfiable_alone(&self) -> bool {
-        self.achievable_counts()
-            .intersection(&self.selection)
-            .next()
-            .is_some()
+        self.achievable_counts().intersection(&self.selection).next().is_some()
     }
 }
 

@@ -31,10 +31,9 @@ impl fmt::Display for NckError {
             NckError::EmptyCollection => {
                 write!(f, "constraint has an empty variable collection")
             }
-            NckError::SelectionOutOfRange { value, cardinality } => write!(
-                f,
-                "selection value {value} exceeds collection cardinality {cardinality}"
-            ),
+            NckError::SelectionOutOfRange { value, cardinality } => {
+                write!(f, "selection value {value} exceeds collection cardinality {cardinality}")
+            }
             NckError::EmptySelection => {
                 write!(f, "constraint has an empty selection set (unsatisfiable)")
             }

@@ -235,10 +235,7 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut p = Program::new();
         p.new_var("x").unwrap();
-        assert_eq!(
-            p.new_var("x").unwrap_err(),
-            NckError::DuplicateName("x".to_string())
-        );
+        assert_eq!(p.new_var("x").unwrap_err(), NckError::DuplicateName("x".to_string()));
     }
 
     #[test]
@@ -246,10 +243,7 @@ mod tests {
         let mut p = Program::new();
         let _a = p.new_var("a").unwrap();
         let ghost = Var::new(7);
-        assert_eq!(
-            p.nck(vec![ghost], [1]).unwrap_err(),
-            NckError::UnknownVariable(7)
-        );
+        assert_eq!(p.nck(vec![ghost], [1]).unwrap_err(), NckError::UnknownVariable(7));
     }
 
     #[test]

@@ -38,10 +38,7 @@ pub struct CompileKey {
 impl Constraint {
     /// This constraint's symmetry class (Definition 7).
     pub fn symmetry_key(&self) -> SymmetryKey {
-        SymmetryKey {
-            cardinality: self.cardinality(),
-            selection: self.selection().clone(),
-        }
+        SymmetryKey { cardinality: self.cardinality(), selection: self.selection().clone() }
     }
 
     /// This constraint's compile-cache key.
@@ -49,21 +46,14 @@ impl Constraint {
         let mut multiplicities: Vec<u32> =
             self.multiplicities().into_iter().map(|(_, m)| m).collect();
         multiplicities.sort_unstable();
-        CompileKey {
-            multiplicities,
-            selection: self.selection().clone(),
-        }
+        CompileKey { multiplicities, selection: self.selection().clone() }
     }
 }
 
 /// Count the number of mutually non-symmetric constraints — the number
 /// of distinct [`SymmetryKey`]s (Table I, column 3).
 pub fn count_nonsymmetric<'a>(constraints: impl IntoIterator<Item = &'a Constraint>) -> usize {
-    constraints
-        .into_iter()
-        .map(Constraint::symmetry_key)
-        .collect::<HashSet<_>>()
-        .len()
+    constraints.into_iter().map(Constraint::symmetry_key).collect::<HashSet<_>>().len()
 }
 
 #[cfg(test)]
@@ -124,9 +114,7 @@ mod tests {
             constraints.push(c(&[u, v], &[1, 2]));
         }
         for v in 0..5 {
-            constraints.push(
-                Constraint::new(vec![Var::new(v)], [0], Hardness::Soft).unwrap(),
-            );
+            constraints.push(Constraint::new(vec![Var::new(v)], [0], Hardness::Soft).unwrap());
         }
         assert_eq!(count_nonsymmetric(&constraints), 2);
     }

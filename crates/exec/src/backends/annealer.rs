@@ -1,0 +1,133 @@
+//! The simulated D-Wave annealer behind the [`Backend`] trait, with an
+//! embedding cache and a typed retry/fallback policy.
+
+use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
+use crate::error::ExecError;
+use crate::stage::StageTimings;
+use nck_anneal::{find_embedding, AnnealError, AnnealerDevice, Embedding, Topology};
+use nck_qubo::Qubo;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One job of `num_reads` samples on a simulated annealer, best sample
+/// reported (the paper's §VII protocol).
+///
+/// Embedding policy: the heuristic embedder is retried with a fresh
+/// rip-up seed up to [`embed_reseed_tries`](Self::embed_reseed_tries)
+/// times, then the device's precomputed clique embedding is tried, and
+/// only then does the run fail with
+/// [`AnnealError::EmbeddingFailed`]. Found embeddings are cached per
+/// QUBO structure, so multi-seed sweeps embed once (the
+/// `FixedEmbeddingComposite` pattern).
+#[derive(Debug)]
+pub struct AnnealerBackend {
+    /// The device to sample on.
+    pub device: AnnealerDevice,
+    /// Samples per job.
+    pub num_reads: usize,
+    /// Extra embedding attempts with fresh rip-up seeds after the
+    /// device's own per-seed tries are exhausted.
+    pub embed_reseed_tries: u32,
+    /// Last found embedding, keyed by QUBO structure fingerprint.
+    embedding_cache: Mutex<Option<(u64, Embedding)>>,
+}
+
+impl AnnealerBackend {
+    /// A backend on `device` sampling `num_reads` per job.
+    pub fn new(device: AnnealerDevice, num_reads: usize) -> Self {
+        AnnealerBackend {
+            device,
+            num_reads,
+            embed_reseed_tries: 3,
+            embedding_cache: Mutex::new(None),
+        }
+    }
+
+    /// Structural fingerprint of a QUBO: embeddings depend only on the
+    /// variable count and adjacency, not the coefficients.
+    fn fingerprint(qubo: &Qubo) -> u64 {
+        let mut h = DefaultHasher::new();
+        qubo.num_vars().hash(&mut h);
+        for neighbors in qubo.adjacency() {
+            let mut ns = neighbors;
+            ns.sort_unstable();
+            ns.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Find (or reuse) an embedding for `qubo`, applying the retry and
+    /// clique-fallback policy.
+    fn embed(
+        &self,
+        qubo: &Qubo,
+        seed: u64,
+        stages: &mut StageTimings,
+    ) -> Result<Embedding, ExecError> {
+        let fp = Self::fingerprint(qubo);
+        let mut cached = self.embedding_cache.lock().unwrap();
+        if let Some((cached_fp, e)) = &*cached {
+            if *cached_fp == fp {
+                stages.embed_cache_hit = true;
+                return Ok(e.clone());
+            }
+        }
+        let adj = qubo.adjacency();
+        let mut found = None;
+        for attempt in 0..=u64::from(self.embed_reseed_tries) {
+            let rip_up_seed = seed ^ attempt.wrapping_mul(0x9e3779b97f4a7c15);
+            if let Some(e) =
+                find_embedding(&adj, &self.device.topology, rip_up_seed, self.device.embed_tries)
+            {
+                found = Some(e);
+                break;
+            }
+            stages.embed_retries += 1;
+        }
+        if found.is_none() {
+            if let Some(m) = self.device.clique_fallback {
+                found = Topology::pegasus_like_clique_embedding(m, qubo.num_vars());
+                if found.is_some() {
+                    stages.fallbacks += 1;
+                }
+            }
+        }
+        let embedding = found.ok_or(ExecError::Anneal(AnnealError::EmbeddingFailed {
+            logical_vars: qubo.num_vars(),
+            device_qubits: self.device.topology.num_qubits(),
+        }))?;
+        *cached = Some((fp, embedding.clone()));
+        Ok(embedding)
+    }
+}
+
+impl Backend for AnnealerBackend {
+    fn name(&self) -> &'static str {
+        "annealer"
+    }
+
+    fn run(
+        &self,
+        prepared: &Prepared<'_>,
+        seed: u64,
+        stages: &mut StageTimings,
+    ) -> Result<(Candidates, BackendMetrics), ExecError> {
+        let qubo = &prepared.compiled.qubo;
+        let t = Instant::now();
+        let embedding = self.embed(qubo, seed, stages)?;
+        stages.embed = t.elapsed();
+        let t = Instant::now();
+        let result = self.device.sample_qubo_embedded(qubo, &embedding, self.num_reads, seed)?;
+        stages.sample = t.elapsed();
+        let metrics = BackendMetrics::Annealer {
+            physical_qubits: result.physical_qubits,
+            max_chain_length: result.max_chain_length,
+            chain_break_fraction: result.chain_break_fraction,
+            qpu_access_time: result.qpu_access_time,
+        };
+        let samples = result.samples.into_iter().map(|s| s.assignment).collect();
+        Ok((Candidates::Qubo(samples), metrics))
+    }
+}

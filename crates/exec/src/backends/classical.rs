@@ -1,0 +1,55 @@
+//! The classical exact solver (the Z3-role baseline) behind the
+//! [`Backend`] trait.
+
+use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
+use crate::error::ExecError;
+use crate::stage::StageTimings;
+use nck_classical::{solve, SolveOutcome, SolverOptions};
+use std::time::Instant;
+
+/// Exact branch and bound over the NchooseK constraints directly.
+///
+/// When the search completes (not truncated by the node limit) the
+/// result is proven soft-optimal, so the plan's optimality oracle is
+/// seeded for free — a classical run also establishes the yardstick
+/// every quantum backend is judged against.
+#[derive(Clone, Debug, Default)]
+pub struct ClassicalBackend {
+    /// Solver options (node limit).
+    pub options: SolverOptions,
+}
+
+impl Backend for ClassicalBackend {
+    fn name(&self) -> &'static str {
+        "classical"
+    }
+
+    fn run(
+        &self,
+        prepared: &Prepared<'_>,
+        _seed: u64,
+        stages: &mut StageTimings,
+    ) -> Result<(Candidates, BackendMetrics), ExecError> {
+        let t = Instant::now();
+        let (outcome, stats) = solve(prepared.program, &self.options);
+        stages.sample = t.elapsed();
+        let metrics = BackendMetrics::Classical {
+            nodes: stats.nodes,
+            propagations: stats.propagations,
+            truncated: stats.truncated,
+        };
+        match outcome {
+            SolveOutcome::Solved { assignment, soft_weight, .. } => {
+                let candidates = if stats.truncated {
+                    // A truncated search yields an incumbent, not a
+                    // proven optimum — don't seed the oracle with it.
+                    Candidates::Program(vec![assignment])
+                } else {
+                    Candidates::Exact { assignment, soft_weight }
+                };
+                Ok((candidates, metrics))
+            }
+            SolveOutcome::Unsatisfiable => Err(ExecError::Unsatisfiable),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Grover search behind the [`Backend`] trait — the lineage of the
+//! original NchooseK abstraction (§I cites its first use in a Grover
+//! search).
+//!
+//! Limited to hard-only programs (Grover amplifies *satisfying*
+//! assignments; it has no notion of soft-count optimality) and to
+//! registers the state-vector oracle can hold. Both limits are typed
+//! [`ExecError`] values, not panics.
+
+use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
+use crate::error::ExecError;
+use crate::stage::StageTimings;
+use nck_circuit::grover_search;
+use std::time::Instant;
+
+/// BBHT growth factor for the unknown-solution-count schedule: the
+/// iteration guess is m = ⌈BBHT_GROWTH^j⌉ for j = 0, 1, …. Boyer,
+/// Brassard, Høyer & Tapp prove any factor in (1, 4/3) keeps the
+/// expected total oracle cost at O(√(N/M)).
+pub const BBHT_GROWTH: f64 = 1.3;
+
+/// Grover search over the program's hard constraints, using the BBHT
+/// schedule for an unknown solution count: exponentially growing
+/// iteration guesses, each measured once and checked classically.
+#[derive(Clone, Debug)]
+pub struct GroverBackend {
+    /// Largest program (in variables) the state-vector oracle accepts.
+    pub max_vars: usize,
+    /// Maximum BBHT iteration guesses before reporting unsatisfiable.
+    pub max_guesses: u64,
+}
+
+impl Default for GroverBackend {
+    fn default() -> Self {
+        GroverBackend { max_vars: 20, max_guesses: 64 }
+    }
+}
+
+impl Backend for GroverBackend {
+    fn name(&self) -> &'static str {
+        "grover"
+    }
+
+    fn run(
+        &self,
+        prepared: &Prepared<'_>,
+        seed: u64,
+        stages: &mut StageTimings,
+    ) -> Result<(Candidates, BackendMetrics), ExecError> {
+        let program = prepared.program;
+        if program.num_soft() > 0 {
+            return Err(ExecError::SoftUnsupported { num_soft: program.num_soft() });
+        }
+        let n = program.num_vars();
+        if n > self.max_vars {
+            return Err(ExecError::TooLarge { vars: n, limit: self.max_vars });
+        }
+        let predicate = |bits: u64| {
+            let x: Vec<bool> = (0..n).map(|q| bits >> q & 1 == 1).collect();
+            program.all_hard_satisfied(&x)
+        };
+        let t = Instant::now();
+        // BBHT: try m = ⌈BBHT_GROWTH^j⌉ iterations, j = 0, 1, …;
+        // measure once per guess. Expected O(√(N/M)) total oracle calls.
+        let mut m = 1.0f64;
+        let mut found: Option<Vec<bool>> = None;
+        let mut measurements = 0usize;
+        let mut total_iterations = 0usize;
+        let mut success_probability = 0.0;
+        for j in 0..self.max_guesses {
+            let iters = m.ceil() as usize;
+            let r = grover_search(n, predicate, iters, seed ^ j);
+            measurements += 1;
+            total_iterations += r.iterations;
+            success_probability = r.success_probability;
+            if r.satisfying {
+                found = Some(r.assignment);
+                break;
+            }
+            m = (m * BBHT_GROWTH).min((1u64 << n) as f64);
+        }
+        stages.sample = t.elapsed();
+        let assignment = found.ok_or(ExecError::Unsatisfiable)?;
+        let metrics =
+            BackendMetrics::Grover { measurements, total_iterations, success_probability };
+        Ok((Candidates::Program(vec![assignment]), metrics))
+    }
+}

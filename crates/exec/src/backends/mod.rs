@@ -1,0 +1,12 @@
+//! The four [`Backend`](crate::Backend) implementations: annealer,
+//! gate-model/QAOA, Grover, and classical.
+
+pub mod annealer;
+pub mod classical;
+pub mod gate;
+pub mod grover;
+
+pub use annealer::AnnealerBackend;
+pub use classical::ClassicalBackend;
+pub use gate::{GateModelBackend, PACKED_SAMPLER_LIMIT};
+pub use grover::{GroverBackend, BBHT_GROWTH};

@@ -1,0 +1,76 @@
+//! Typed end-to-end execution failures.
+//!
+//! Every backend reports problems through [`ExecError`] instead of
+//! panicking, so library callers can match on the failure mode and
+//! apply their own policy (retry, fall back, skip the instance).
+
+use nck_anneal::AnnealError;
+use nck_circuit::QaoaError;
+use nck_compile::CompileError;
+use std::fmt;
+
+/// Errors from end-to-end execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// Compilation to QUBO failed.
+    Compile(CompileError),
+    /// The annealing backend failed.
+    Anneal(AnnealError),
+    /// The gate-model backend failed.
+    Qaoa(QaoaError),
+    /// The program's hard constraints are unsatisfiable.
+    Unsatisfiable,
+    /// The backend cannot express soft constraints (Grover amplifies
+    /// *satisfying* assignments; it has no notion of soft-count
+    /// optimality).
+    SoftUnsupported {
+        /// Soft constraints present in the program.
+        num_soft: usize,
+    },
+    /// The instance exceeds a hard backend capacity limit.
+    TooLarge {
+        /// Variables the instance requires.
+        vars: usize,
+        /// The backend's limit.
+        limit: usize,
+    },
+    /// The backend returned no candidate assignments to classify.
+    NoCandidates,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Compile(e) => write!(f, "compile error: {e}"),
+            ExecError::Anneal(e) => write!(f, "annealer error: {e}"),
+            ExecError::Qaoa(e) => write!(f, "gate-model error: {e}"),
+            ExecError::Unsatisfiable => write!(f, "hard constraints are unsatisfiable"),
+            ExecError::SoftUnsupported { num_soft } => write!(
+                f,
+                "backend supports hard-only programs ({num_soft} soft constraint(s) present)"
+            ),
+            ExecError::TooLarge { vars, limit } => {
+                write!(f, "instance needs {vars} variables, backend limit is {limit}")
+            }
+            ExecError::NoCandidates => write!(f, "backend returned no candidate assignments"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<CompileError> for ExecError {
+    fn from(e: CompileError) -> Self {
+        ExecError::Compile(e)
+    }
+}
+impl From<AnnealError> for ExecError {
+    fn from(e: AnnealError) -> Self {
+        ExecError::Anneal(e)
+    }
+}
+impl From<QaoaError> for ExecError {
+    fn from(e: QaoaError) -> Self {
+        ExecError::Qaoa(e)
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-stage wall-times and counters for one end-to-end execution —
+//! the §VIII-C timing experiment as a first-class artifact instead of
+//! ad-hoc `Instant::now()` pairs in each bench binary.
+//!
+//! The pipeline stages are `compile` → `embed` → `sample` → `decode` →
+//! `classify`. Backends without a stage leave it at zero (the gate
+//! model has no embedding; its optimize-and-sample loop is reported
+//! under `sample`; the classical solver's search is likewise reported
+//! under `sample`).
+
+use std::time::Duration;
+
+/// Wall-times and counters for one execution through the pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimings {
+    /// Program → QUBO compilation (zero-cost on a plan cache hit).
+    pub compile: Duration,
+    /// Minor embedding onto the hardware graph (annealer only;
+    /// zero-cost on a backend embedding-cache hit).
+    pub embed: Duration,
+    /// The backend's own work: annealing reads, the QAOA
+    /// optimize-and-sample loop, Grover search, or the classical
+    /// branch-and-bound.
+    pub sample: Duration,
+    /// Projecting raw backend assignments down to program variables.
+    pub decode: Duration,
+    /// Classification against the optimality oracle (includes the
+    /// oracle's classical solve the first time a plan needs it).
+    pub classify: Duration,
+    /// The plan served the compiled program from its cache.
+    pub compile_cache_hit: bool,
+    /// The annealer backend reused a cached minor embedding.
+    pub embed_cache_hit: bool,
+    /// Embedding attempts that failed and were retried with a fresh
+    /// rip-up seed.
+    pub embed_retries: u32,
+    /// Fallbacks taken (clique embedding after heuristic failure;
+    /// analytic p=1 QAOA after state-vector overflow).
+    pub fallbacks: u32,
+    /// Candidate assignments the backend returned for classification.
+    pub candidates: usize,
+}
+
+impl StageTimings {
+    /// Header for the CSV emitted by [`StageTimings::csv_rows`].
+    pub const CSV_HEADER: &'static str = "label,stage,ms";
+
+    /// The five pipeline stages in order, with their wall-times.
+    pub fn stages(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("compile", self.compile),
+            ("embed", self.embed),
+            ("sample", self.sample),
+            ("decode", self.decode),
+            ("classify", self.classify),
+        ]
+    }
+
+    /// Total wall-time across all stages.
+    pub fn total(&self) -> Duration {
+        self.stages().iter().map(|&(_, d)| d).sum()
+    }
+
+    /// One CSV row per stage (`label,stage,ms`), newline-terminated.
+    pub fn csv_rows(&self, label: &str) -> String {
+        let mut out = String::new();
+        for (stage, d) in self.stages() {
+            out.push_str(&format!("{label},{stage},{:.3}\n", d.as_secs_f64() * 1e3));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_one_row_per_stage() {
+        let t = StageTimings {
+            compile: Duration::from_millis(2),
+            sample: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let csv = t.csv_rows("vc");
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("vc,compile,2.000\n"));
+        assert!(csv.contains("vc,sample,30.000\n"));
+        assert!(csv.contains("vc,decode,0.000\n"));
+    }
+
+    #[test]
+    fn total_sums_stages() {
+        let t = StageTimings {
+            embed: Duration::from_millis(5),
+            classify: Duration::from_millis(7),
+            ..Default::default()
+        };
+        assert_eq!(t.total(), Duration::from_millis(12));
+    }
+}

@@ -60,11 +60,8 @@ impl CliqueCover {
         }
         for (u, v) in self.graph.non_edges() {
             for i in 0..self.cliques {
-                p.nck(
-                    vec![vars[self.var_index(u, i)], vars[self.var_index(v, i)]],
-                    [0, 1],
-                )
-                .expect("non-edge constraint");
+                p.nck(vec![vars[self.var_index(u, i)], vars[self.var_index(v, i)]], [0, 1])
+                    .expect("non-edge constraint");
             }
         }
         p
@@ -91,9 +88,8 @@ impl CliqueCover {
     pub fn decode(&self, assignment: &[bool]) -> Option<Vec<usize>> {
         let mut groups = Vec::with_capacity(self.graph.num_vertices());
         for v in 0..self.graph.num_vertices() {
-            let on: Vec<usize> = (0..self.cliques)
-                .filter(|&i| assignment[self.var_index(v, i)])
-                .collect();
+            let on: Vec<usize> =
+                (0..self.cliques).filter(|&i| assignment[self.var_index(v, i)]).collect();
             match on.as_slice() {
                 [g] => groups.push(*g),
                 _ => return None,
@@ -179,9 +175,7 @@ mod tests {
         // of constraints for this particular problem formulation".
         let sparse = CliqueCover::new(Graph::edge_scaling(18), 4);
         let dense = CliqueCover::new(Graph::edge_scaling(48), 4);
-        assert!(
-            dense.program().constraints().len() < sparse.program().constraints().len()
-        );
+        assert!(dense.program().constraints().len() < sparse.program().constraints().len());
     }
 
     #[test]

@@ -76,12 +76,7 @@ impl ExactCover {
 
     /// Subsets containing element `e`.
     fn containing(&self, e: usize) -> Vec<usize> {
-        self.subsets
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.contains(&e))
-            .map(|(i, _)| i)
-            .collect()
+        self.subsets.iter().enumerate().filter(|(_, s)| s.contains(&e)).map(|(i, _)| i).collect()
     }
 
     /// The NchooseK program: variable `s<i>` per subset.
@@ -137,16 +132,7 @@ mod tests {
 
     fn small() -> ExactCover {
         // Elements 0..4; hidden cover {0,1} ∪ {2,3} plus decoys.
-        ExactCover::new(
-            4,
-            vec![
-                vec![0, 1],
-                vec![2, 3],
-                vec![1, 2],
-                vec![0, 1, 2],
-                vec![3],
-            ],
-        )
+        ExactCover::new(4, vec![vec![0, 1], vec![2, 3], vec![1, 2], vec![0, 1, 2], vec![3]])
     }
 
     #[test]

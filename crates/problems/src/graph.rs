@@ -76,10 +76,7 @@ impl Graph {
 
     /// Degree of vertex `v`.
     pub fn degree(&self, v: usize) -> usize {
-        self.edges
-            .iter()
-            .filter(|&&(a, b)| a == v || b == v)
-            .count()
+        self.edges.iter().filter(|&&(a, b)| a == v || b == v).count()
     }
 
     /// The complete graph `K_n`.
@@ -176,9 +173,8 @@ impl Graph {
     pub fn random_gnm(n: usize, m: usize, seed: u64) -> Self {
         let max = n * (n - 1) / 2;
         assert!(m <= max, "G({n}, m={m}) exceeds {max} possible edges");
-        let mut pool: Vec<(usize, usize)> = (0..n)
-            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
-            .collect();
+        let mut pool: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         pool.shuffle(&mut rng);
         pool.truncate(m);

@@ -90,10 +90,8 @@ impl KSat {
             while vars.len() < 3 {
                 vars.insert(rng.random_range(0..num_vars));
             }
-            let clause: Vec<Literal> = vars
-                .into_iter()
-                .map(|v| Literal { var: v, positive: rng.random() })
-                .collect();
+            let clause: Vec<Literal> =
+                vars.into_iter().map(|v| Literal { var: v, positive: rng.random() }).collect();
             if clause.iter().any(|l| l.eval(&planted)) {
                 clauses.push(clause);
             }
@@ -119,7 +117,8 @@ impl KSat {
                 match parts.as_slice() {
                     ["cnf", v, m] => {
                         num_vars = Some(
-                            v.parse().map_err(|e| format!("line {}: bad var count: {e}", lineno + 1))?,
+                            v.parse()
+                                .map_err(|e| format!("line {}: bad var count: {e}", lineno + 1))?,
                         );
                         declared_clauses = m
                             .parse()
@@ -129,9 +128,8 @@ impl KSat {
                 }
                 continue;
             }
-            let nv = num_vars.ok_or_else(|| {
-                format!("line {}: clause before 'p cnf' header", lineno + 1)
-            })?;
+            let nv = num_vars
+                .ok_or_else(|| format!("line {}: clause before 'p cnf' header", lineno + 1))?;
             for tok in line.split_whitespace() {
                 let lit: i64 = tok
                     .parse()
@@ -183,8 +181,10 @@ impl KSat {
                 let v = lit.var as i64 + 1;
                 let _ = write!(out, "{} ", if lit.positive { v } else { -v });
             }
-            out.push_str("0
-");
+            out.push_str(
+                "0
+",
+            );
         }
         out
     }
@@ -201,9 +201,7 @@ impl KSat {
 
     /// Domain check: does `assignment` satisfy every clause?
     pub fn is_satisfying(&self, assignment: &[bool]) -> bool {
-        self.clauses
-            .iter()
-            .all(|c| c.iter().any(|l| l.eval(&assignment[..self.num_vars])))
+        self.clauses.iter().all(|c| c.iter().any(|l| l.eval(&assignment[..self.num_vars])))
     }
 
     /// Dual-rail NchooseK program. Variable layout: `x0..x(n−1)` then
@@ -217,10 +215,8 @@ impl KSat {
             p.nck(vec![xs[v], nxs[v]], [1]).expect("rail constraint");
         }
         for clause in &self.clauses {
-            let collection: Vec<_> = clause
-                .iter()
-                .map(|l| if l.positive { xs[l.var] } else { nxs[l.var] })
-                .collect();
+            let collection: Vec<_> =
+                clause.iter().map(|l| if l.positive { xs[l.var] } else { nxs[l.var] }).collect();
             let k = collection.len() as u32;
             p.nck(collection, 1..=k).expect("clause constraint");
         }
@@ -339,7 +335,6 @@ impl KSat {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,11 +366,8 @@ mod tests {
         let p = sat.program_dual_rail();
         assert_eq!(p.num_hard(), 3 + 2); // n rails + m clauses
         let r = solve_brute(&p).expect("satisfiable");
-        let projected: BTreeSet<u64> = r
-            .optima
-            .iter()
-            .map(|bits| bits & ((1 << sat.num_vars()) - 1))
-            .collect();
+        let projected: BTreeSet<u64> =
+            r.optima.iter().map(|bits| bits & ((1 << sat.num_vars()) - 1)).collect();
         let expect: BTreeSet<u64> = domain_solutions(&sat).into_iter().collect();
         assert_eq!(projected, expect);
     }
@@ -396,10 +388,7 @@ mod tests {
     fn repeated_encoding_matches_papers_corrected_example() {
         // (x ∨ y ∨ ¬z): positives {x,y}, negative z with weight 3 →
         // collection {x,y,z,z,z}, selection {0,1,2,4,5}.
-        let sat = KSat::new(
-            3,
-            vec![vec![Literal::pos(0), Literal::pos(1), Literal::neg(2)]],
-        );
+        let sat = KSat::new(3, vec![vec![Literal::pos(0), Literal::pos(1), Literal::neg(2)]]);
         let p = sat.program_repeated();
         let c = &p.constraints()[0];
         assert_eq!(c.cardinality(), 5);
@@ -413,8 +402,7 @@ mod tests {
         let sat = KSat::new(2, vec![vec![Literal::neg(0), Literal::neg(1)]]);
         for p in [sat.program_dual_rail(), sat.program_repeated()] {
             let r = solve_brute(&p).expect("satisfiable");
-            let projected: BTreeSet<u64> =
-                r.optima.iter().map(|b| b & 0b11).collect();
+            let projected: BTreeSet<u64> = r.optima.iter().map(|b| b & 0b11).collect();
             assert_eq!(projected, BTreeSet::from([0b00, 0b01, 0b10]));
         }
     }

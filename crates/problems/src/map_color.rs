@@ -56,17 +56,13 @@ impl MapColoring {
             }
         }
         for v in 0..self.graph.num_vertices() {
-            let collection: Vec<_> =
-                (0..self.colors).map(|i| vars[self.var_index(v, i)]).collect();
+            let collection: Vec<_> = (0..self.colors).map(|i| vars[self.var_index(v, i)]).collect();
             p.nck(collection, [1]).expect("one-hot constraint");
         }
         for &(u, v) in self.graph.edges() {
             for i in 0..self.colors {
-                p.nck(
-                    vec![vars[self.var_index(u, i)], vars[self.var_index(v, i)]],
-                    [0, 1],
-                )
-                .expect("edge-color constraint");
+                p.nck(vec![vars[self.var_index(u, i)], vars[self.var_index(v, i)]], [0, 1])
+                    .expect("edge-color constraint");
             }
         }
         p
@@ -93,9 +89,8 @@ impl MapColoring {
     pub fn decode(&self, assignment: &[bool]) -> Option<Vec<usize>> {
         let mut coloring = Vec::with_capacity(self.graph.num_vertices());
         for v in 0..self.graph.num_vertices() {
-            let on: Vec<usize> = (0..self.colors)
-                .filter(|&i| assignment[self.var_index(v, i)])
-                .collect();
+            let on: Vec<usize> =
+                (0..self.colors).filter(|&i| assignment[self.var_index(v, i)]).collect();
             match on.as_slice() {
                 [color] => coloring.push(*color),
                 _ => return None,
@@ -107,11 +102,7 @@ impl MapColoring {
     /// True iff `assignment` decodes to a proper coloring.
     pub fn is_valid_coloring(&self, assignment: &[bool]) -> bool {
         match self.decode(assignment) {
-            Some(coloring) => self
-                .graph
-                .edges()
-                .iter()
-                .all(|&(u, v)| coloring[u] != coloring[v]),
+            Some(coloring) => self.graph.edges().iter().all(|&(u, v)| coloring[u] != coloring[v]),
             None => false,
         }
     }
@@ -167,10 +158,7 @@ mod tests {
         let mc = MapColoring::new(Graph::path(2), 2);
         assert_eq!(mc.decode(&[true, true, true, false]), None);
         assert_eq!(mc.decode(&[false, false, true, false]), None);
-        assert_eq!(
-            mc.decode(&[true, false, false, true]),
-            Some(vec![0, 1])
-        );
+        assert_eq!(mc.decode(&[true, false, false, true]), Some(vec![0, 1]));
     }
 
     #[test]

@@ -49,12 +49,9 @@ impl MaxCut {
     /// The NchooseK program: all-soft, one constraint per edge.
     pub fn program(&self) -> Program {
         let mut p = Program::new();
-        let vs = p
-            .new_vars("v", self.graph.num_vertices())
-            .expect("fresh names");
+        let vs = p.new_vars("v", self.graph.num_vertices()).expect("fresh names");
         for (&(u, w), &wt) in self.graph.edges().iter().zip(&self.weights) {
-            p.nck_soft_weighted(vec![vs[u], vs[w]], [1], wt)
-                .expect("edge soft constraint");
+            p.nck_soft_weighted(vec![vs[u], vs[w]], [1], wt).expect("edge soft constraint");
         }
         p
     }
@@ -75,11 +72,7 @@ impl MaxCut {
 
     /// Number of edges cut by a partition.
     pub fn cut_size(&self, assignment: &[bool]) -> usize {
-        self.graph
-            .edges()
-            .iter()
-            .filter(|&&(u, v)| assignment[u] != assignment[v])
-            .count()
+        self.graph.edges().iter().filter(|&&(u, v)| assignment[u] != assignment[v]).count()
     }
 
     /// Total weight of cut edges.

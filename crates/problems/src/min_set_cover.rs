@@ -56,12 +56,7 @@ impl MinSetCover {
     }
 
     fn containing(&self, e: usize) -> Vec<usize> {
-        self.subsets()
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.contains(&e))
-            .map(|(i, _)| i)
-            .collect()
+        self.subsets().iter().enumerate().filter(|(_, s)| s.contains(&e)).map(|(i, _)| i).collect()
     }
 
     /// The NchooseK program.
@@ -101,8 +96,7 @@ impl MinSetCover {
             sq.scale(a);
             q += &sq;
             // (Σ_m m·y_m − Σ x_i)²
-            let mut terms: Vec<(usize, f64)> =
-                (0..na).map(|m| (anc + m, (m + 1) as f64)).collect();
+            let mut terms: Vec<(usize, f64)> = (0..na).map(|m| (anc + m, (m + 1) as f64)).collect();
             terms.extend(members.iter().map(|&i| (i, -1.0)));
             let mut sq = Qubo::new(q.num_vars());
             sq.add_square_of_linear(&terms, 0.0);
@@ -118,16 +112,12 @@ impl MinSetCover {
 
     /// Domain check: is every element covered at least once?
     pub fn is_cover(&self, assignment: &[bool]) -> bool {
-        (0..self.num_elements())
-            .all(|e| self.containing(e).iter().any(|&i| assignment[i]))
+        (0..self.num_elements()).all(|e| self.containing(e).iter().any(|&i| assignment[i]))
     }
 
     /// Number of chosen subsets.
     pub fn cover_size(&self, assignment: &[bool]) -> usize {
-        assignment[..self.subsets().len()]
-            .iter()
-            .filter(|&&b| b)
-            .count()
+        assignment[..self.subsets().len()].iter().filter(|&&b| b).count()
     }
 
     /// Table I metrics. (The handcrafted QUBO includes its counting

@@ -34,9 +34,7 @@ impl MinVertexCover {
     /// The NchooseK program: variable `v<i>` per vertex.
     pub fn program(&self) -> Program {
         let mut p = Program::new();
-        let vs = p
-            .new_vars("v", self.graph.num_vertices())
-            .expect("fresh names");
+        let vs = p.new_vars("v", self.graph.num_vertices()).expect("fresh names");
         for &(u, w) in self.graph.edges() {
             p.nck(vec![vs[u], vs[w]], [1, 2]).expect("edge constraint");
         }
@@ -66,10 +64,7 @@ impl MinVertexCover {
 
     /// Domain check: is the TRUE-set a vertex cover?
     pub fn is_cover(&self, assignment: &[bool]) -> bool {
-        self.graph
-            .edges()
-            .iter()
-            .all(|&(u, v)| assignment[u] || assignment[v])
+        self.graph.edges().iter().all(|&(u, v)| assignment[u] || assignment[v])
     }
 
     /// Cover size of an assignment.

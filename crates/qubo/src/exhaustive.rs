@@ -65,11 +65,8 @@ pub fn solve_exhaustive(q: &Qubo) -> ExhaustiveResult {
     for (e, _) in &locals {
         best = best.min(*e);
     }
-    let mut minimizers: Vec<u64> = locals
-        .into_iter()
-        .filter(|(e, _)| *e <= best + ENERGY_EPS)
-        .flat_map(|(_, m)| m)
-        .collect();
+    let mut minimizers: Vec<u64> =
+        locals.into_iter().filter(|(e, _)| *e <= best + ENERGY_EPS).flat_map(|(_, m)| m).collect();
     // Chunk-local tolerance can admit points slightly above the global
     // minimum; re-filter against the global value.
     minimizers.retain(|&bits| q.energy_bits(bits) <= best + ENERGY_EPS);

@@ -20,12 +20,7 @@ pub struct Ising {
 impl Ising {
     /// The zero Hamiltonian over `num_spins` spins.
     pub fn new(num_spins: usize) -> Self {
-        Ising {
-            num_spins,
-            h: vec![0.0; num_spins],
-            j: BTreeMap::new(),
-            offset: 0.0,
-        }
+        Ising { num_spins, h: vec![0.0; num_spins], j: BTreeMap::new(), offset: 0.0 }
     }
 
     /// Number of spins.
@@ -85,11 +80,7 @@ impl Ising {
 
     /// Iterate nonzero fields `(i, h)`.
     pub fn fields(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.h
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0.0)
-            .map(|(i, &c)| (i, c))
+        self.h.iter().enumerate().filter(|(_, &c)| c != 0.0).map(|(i, &c)| (i, c))
     }
 
     /// Number of nonzero terms (fields + couplings).

@@ -61,10 +61,7 @@ impl Poly {
     /// Evaluate under a full assignment.
     pub fn energy(&self, x: &[bool]) -> f64 {
         assert!(x.len() >= self.num_vars);
-        self.terms
-            .iter()
-            .map(|(s, &c)| if s.iter().all(|&v| x[v]) { c } else { 0.0 })
-            .sum()
+        self.terms.iter().map(|(s, &c)| if s.iter().all(|&v| x[v]) { c } else { 0.0 }).sum()
     }
 
     /// Multiply in the factor `(k + Σ coeffs·x)` — convenient for
@@ -101,9 +98,7 @@ impl Poly {
 
     /// Iterate monomials as `(variables, coefficient)`.
     pub fn terms(&self) -> impl Iterator<Item = (Vec<usize>, f64)> + '_ {
-        self.terms
-            .iter()
-            .map(|(s, &c)| (s.iter().copied().collect(), c))
+        self.terms.iter().map(|(s, &c)| (s.iter().copied().collect(), c))
     }
 
     /// Add another polynomial into this one.

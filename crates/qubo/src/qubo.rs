@@ -25,12 +25,7 @@ pub struct Qubo {
 impl Qubo {
     /// An identically-zero QUBO over `num_vars` variables.
     pub fn new(num_vars: usize) -> Self {
-        Qubo {
-            num_vars,
-            linear: vec![0.0; num_vars],
-            quadratic: BTreeMap::new(),
-            offset: 0.0,
-        }
+        Qubo { num_vars, linear: vec![0.0; num_vars], quadratic: BTreeMap::new(), offset: 0.0 }
     }
 
     /// Number of variables (including ones with zero coefficient).
@@ -54,10 +49,7 @@ impl Qubo {
 
     /// Add `c·xᵢxⱼ`. `i == j` folds into the linear term (`x² = x`).
     pub fn add_quadratic(&mut self, i: usize, j: usize, c: f64) {
-        assert!(
-            i < self.num_vars && j < self.num_vars,
-            "variable pair ({i},{j}) out of range"
-        );
+        assert!(i < self.num_vars && j < self.num_vars, "variable pair ({i},{j}) out of range");
         if i == j {
             self.linear[i] += c;
             return;
@@ -90,10 +82,7 @@ impl Qubo {
         if i == j {
             return 0.0;
         }
-        self.quadratic
-            .get(&(i.min(j), i.max(j)))
-            .copied()
-            .unwrap_or(0.0)
+        self.quadratic.get(&(i.min(j), i.max(j))).copied().unwrap_or(0.0)
     }
 
     /// Iterate nonzero quadratic terms as `((i, j), coeff)` with `i < j`.
@@ -103,11 +92,7 @@ impl Qubo {
 
     /// Iterate nonzero linear terms as `(i, coeff)`.
     pub fn linear_terms(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.linear
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0.0)
-            .map(|(i, &c)| (i, c))
+        self.linear.iter().enumerate().filter(|(_, &c)| c != 0.0).map(|(i, &c)| (i, c))
     }
 
     /// Number of nonzero terms (linear + quadratic), the paper's "QUBO

@@ -216,9 +216,7 @@ impl BigInt {
             let num = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
             let mut qhat = num / btop;
             let mut rhat = num % btop;
-            while qhat >> 64 != 0
-                || qhat * bsec > ((rhat << 64) | an[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * bsec > ((rhat << 64) | an[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += btop;
                 if rhat >> 64 != 0 {

@@ -225,7 +225,7 @@ mod tests {
     fn picks_feasible_alternative() {
         let mut p = DisjunctiveProblem::new(1);
         p.require(con(&[(0, 1)], -1, Relation::Ge)); // x >= 1
-        // x = 0  OR  x = 5
+                                                     // x = 0  OR  x = 5
         p.require_any(vec![
             vec![con(&[(0, 1)], 0, Relation::Eq)],
             vec![con(&[(0, 1)], -5, Relation::Eq)],
@@ -287,14 +287,8 @@ mod tests {
         let mut p = DisjunctiveProblem::new(2);
         p.require(con(&[(1, 1), (0, -1)], -1, Relation::Eq));
         p.require_any(vec![
-            vec![
-                con(&[(0, 1)], 0, Relation::Eq),
-                con(&[(1, 1)], -1, Relation::Eq),
-            ],
-            vec![
-                con(&[(0, 1)], -2, Relation::Eq),
-                con(&[(1, 1)], 0, Relation::Eq),
-            ],
+            vec![con(&[(0, 1)], 0, Relation::Eq), con(&[(1, 1)], -1, Relation::Eq)],
+            vec![con(&[(0, 1)], -2, Relation::Eq), con(&[(1, 1)], 0, Relation::Eq)],
         ]);
         let w = p.solve().unwrap();
         assert_eq!(w, vec![r(0), r(1)]);

@@ -154,20 +154,14 @@ impl Ord for Rational {
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, other: &Rational) -> Rational {
-        Rational::new(
-            &(&self.num * &other.den) + &(&other.num * &self.den),
-            &self.den * &other.den,
-        )
+        Rational::new(&(&self.num * &other.den) + &(&other.num * &self.den), &self.den * &other.den)
     }
 }
 
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, other: &Rational) -> Rational {
-        Rational::new(
-            &(&self.num * &other.den) - &(&other.num * &self.den),
-            &self.den * &other.den,
-        )
+        Rational::new(&(&self.num * &other.den) - &(&other.num * &self.den), &self.den * &other.den)
     }
 }
 

@@ -102,11 +102,7 @@ impl Tableau {
         let nv = p.num_vars;
         let m = p.constraints.len();
         // Columns: [p0..p(nv-1) | n0..n(nv-1) | slacks | artificials]
-        let nslack = p
-            .constraints
-            .iter()
-            .filter(|c| c.rel != Relation::Eq)
-            .count();
+        let nslack = p.constraints.iter().filter(|c| c.rel != Relation::Eq).count();
         let art_start = 2 * nv + nslack;
         let ncols = art_start + m;
         let mut rows = Vec::with_capacity(m);
@@ -177,8 +173,7 @@ impl Tableau {
                     None => true,
                     Some(b) => {
                         ratio < *b
-                            || (ratio == *b
-                                && self.basis[r] < self.basis[pivot_row.unwrap()])
+                            || (ratio == *b && self.basis[r] < self.basis[pivot_row.unwrap()])
                     }
                 };
                 if better {
@@ -243,8 +238,7 @@ impl Tableau {
                     None => true,
                     Some(b) => {
                         ratio < *b
-                            || (ratio == *b
-                                && self.basis[r] < self.basis[pivot_row.unwrap()])
+                            || (ratio == *b && self.basis[r] < self.basis[pivot_row.unwrap()])
                     }
                 };
                 if better {
@@ -268,9 +262,7 @@ impl Tableau {
                 vals[b] = self.rows[r][self.ncols].clone();
             }
         }
-        (0..self.num_free)
-            .map(|i| &vals[i] - &vals[self.num_free + i])
-            .collect()
+        (0..self.num_free).map(|i| &vals[i] - &vals[self.num_free + i]).collect()
     }
 
     fn pivot(&mut self, pr: usize, pc: usize, z: &mut [Rational]) {
@@ -426,7 +418,7 @@ mod tests {
         // x ≥ 3, minimize x  =>  x = 3.
         let mut p = LpProblem::new(1);
         p.add(con(&[(0, 1)], 3, Relation::Ge)); // wrong sign check below
-        // expr = x + 3 ≥ 0 means x ≥ −3; build properly: x − 3 ≥ 0
+                                                // expr = x + 3 ≥ 0 means x ≥ −3; build properly: x − 3 ≥ 0
         let mut p = LpProblem::new(1);
         p.add(con(&[(0, 1)], -3, Relation::Ge));
         match p.minimize(&LinExpr::var(0)) {

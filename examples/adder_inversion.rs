@@ -64,8 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         x[b0.index()] = bits >> 2 & 1 == 1;
         x[b1.index()] = bits >> 3 & 1 == 1;
         // Complete the internal wires to their forced values.
-        let (va0, va1, vb0, vb1) =
-            (x[a0.index()], x[a1.index()], x[b0.index()], x[b1.index()]);
+        let (va0, va1, vb0, vb1) = (x[a0.index()], x[a1.index()], x[b0.index()], x[b1.index()]);
         x[s0.index()] = va0 ^ vb0;
         x[c0.index()] = va0 & vb0;
         x[x1.index()] = va1 ^ vb1;

@@ -26,9 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.constraints().len()
     );
 
-    let groups: Vec<Vec<usize>> = (0..3)
-        .map(|v| (0..3).map(|c| problem.var_index(v, c)).collect())
-        .collect();
+    let groups: Vec<Vec<usize>> =
+        (0..3).map(|v| (0..3).map(|c| problem.var_index(v, c)).collect()).collect();
 
     let feasible_and_valid = |betas: &[f64], gammas: &[f64], mixer: &Mixer| -> (f64, f64) {
         let circuit = qaoa_circuit_with_mixer(&ising, betas, gammas, mixer);
@@ -59,11 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if tf.1 > best_tf.1 {
                 best_tf = tf;
             }
-            let xy = feasible_and_valid(
-                &[b],
-                &[g],
-                &Mixer::XyRings { groups: groups.clone() },
-            );
+            let xy = feasible_and_valid(&[b], &[g], &Mixer::XyRings { groups: groups.clone() });
             if xy.1 > best_xy.1 {
                 best_xy = xy;
             }
@@ -80,10 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * best_xy.0,
         100.0 * best_xy.1
     );
-    assert!(
-        (best_xy.0 - 1.0).abs() < 1e-9,
-        "XY mixer must keep all probability one-hot"
-    );
+    assert!((best_xy.0 - 1.0).abs() < 1e-9, "XY mixer must keep all probability one-hot");
     assert!(best_xy.1 > best_tf.1, "XY mixer should win on valid mass");
     println!("\nthe XY ansatz never leaves the one-hot subspace, so every shot");
     println!("decodes to a coloring attempt — the paper's §IX intuition.");

@@ -33,11 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => BUILTIN.to_string(),
     };
     let sat = KSat::from_dimacs(&text).map_err(std::io::Error::other)?;
-    println!(
-        "parsed {} variables, {} clauses",
-        sat.num_vars(),
-        sat.clauses().len()
-    );
+    println!("parsed {} variables, {} clauses", sat.num_vars(), sat.clauses().len());
 
     let program = sat.program_repeated();
     let compiled = compile(&program, &CompilerOptions::default())?;
@@ -66,15 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = AnnealerDevice::advantage_4_1();
     let out = run_on_annealer(&program, &device, 100, 17)?;
     let solution = &out.assignment[..sat.num_vars()];
-    println!(
-        "annealer: {} — formula satisfied: {}",
-        out.quality,
-        sat.is_satisfying(solution)
-    );
-    let bits: String = solution
-        .iter()
-        .map(|&b| if b { '1' } else { '0' })
-        .collect();
+    println!("annealer: {} — formula satisfied: {}", out.quality, sat.is_satisfying(solution));
+    let bits: String = solution.iter().map(|&b| if b { '1' } else { '0' }).collect();
     println!("assignment (x1..xn): {bits}");
     Ok(())
 }

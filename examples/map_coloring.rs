@@ -47,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for (region, &color) in names.iter().zip(&coloring) {
                 println!("  {region}: {}", palette[color]);
             }
-            assert!(
-                problem.is_valid_coloring(&out.assignment),
-                "adjacent regions share a color"
-            );
+            assert!(problem.is_valid_coloring(&out.assignment), "adjacent regions share a color");
         }
         None => println!("  (sample was not a valid one-hot coloring)"),
     }

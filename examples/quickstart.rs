@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = run_on_annealer(&p, &annealer, 100, 42)?;
     println!(
         "annealer: {} → a={} b={} c={}",
-        out.quality, out.assignment[a.index()], out.assignment[b.index()], out.assignment[c.index()]
+        out.quality,
+        out.assignment[a.index()],
+        out.assignment[b.index()],
+        out.assignment[c.index()]
     );
 
     // 4. Run on the simulated 65-qubit IBM device via QAOA.
@@ -49,15 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = run_on_gate_model(&p, &gate, 1, 4000, 40, 42)?;
     println!(
         "gate model: {} → a={} b={} c={}",
-        out.quality, out.assignment[a.index()], out.assignment[b.index()], out.assignment[c.index()]
+        out.quality,
+        out.assignment[a.index()],
+        out.assignment[b.index()],
+        out.assignment[c.index()]
     );
 
     // 5. And classically (exact).
     let (x, _) = run_classically(&p)?;
-    println!(
-        "classical:  a={} b={} c={}",
-        x[a.index()], x[b.index()], x[c.index()]
-    );
+    println!("classical:  a={} b={} c={}", x[a.index()], x[b.index()], x[c.index()]);
     assert!(p.all_hard_satisfied(&x));
     Ok(())
 }

@@ -20,10 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let device = AnnealerDevice::advantage_4_1();
-    for (name, program) in [
-        ("dual-rail", sat.program_dual_rail()),
-        ("repeated-variable", sat.program_repeated()),
-    ] {
+    for (name, program) in
+        [("dual-rail", sat.program_dual_rail()), ("repeated-variable", sat.program_repeated())]
+    {
         let compiled = compile(&program, &CompilerOptions::default())?;
         let out = run_on_annealer(&program, &device, 100, 31)?;
         // Either encoding projects a solution onto the first n bits.

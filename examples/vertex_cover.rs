@@ -27,13 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let device = AnnealerDevice::advantage_4_1();
     let out = run_on_annealer(&program, &device, 100, 7)?;
-    let cover: Vec<usize> = out
-        .assignment
-        .iter()
-        .enumerate()
-        .filter(|(_, &b)| b)
-        .map(|(v, _)| v)
-        .collect();
+    let cover: Vec<usize> =
+        out.assignment.iter().enumerate().filter(|(_, &b)| b).map(|(v, _)| v).collect();
     let names = ["a", "b", "c", "d", "e"];
     println!(
         "result: {} — cover {{{}}} (size {}, optimum satisfies {}/{} soft constraints)",

@@ -57,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = run_on_annealer(&p, &device, 100, 33)?;
     println!(
         "annealer result: {} (satisfied weight {}/{})",
-        out.quality, out.max_soft, p.total_soft_weight()
+        out.quality,
+        out.max_soft,
+        p.total_soft_weight()
     );
     for (w, worker) in workers.iter().enumerate() {
         for (s, shift) in shifts.iter().enumerate() {

@@ -31,9 +31,7 @@ pub fn parse_program(text: &str) -> Result<Program, String> {
         match head {
             "var" => {
                 for name in parts {
-                    let v = program
-                        .new_var(name)
-                        .map_err(|e: NckError| err(e.to_string()))?;
+                    let v = program.new_var(name).map_err(|e: NckError| err(e.to_string()))?;
                     vars.insert(name.to_string(), v);
                 }
             }
@@ -86,13 +84,7 @@ pub fn parse_program(text: &str) -> Result<Program, String> {
 /// Render an assignment using the program's variable names.
 pub fn format_assignment(program: &Program, assignment: &[bool]) -> String {
     (0..program.num_vars())
-        .map(|i| {
-            format!(
-                "{}={}",
-                program.name(Var::new(i as u32)),
-                u8::from(assignment[i])
-            )
-        })
+        .map(|i| format!("{}={}", program.name(Var::new(i as u32)), u8::from(assignment[i])))
         .collect::<Vec<_>>()
         .join(" ")
 }
@@ -103,10 +95,9 @@ mod tests {
 
     #[test]
     fn parses_paper_intro() {
-        let p = parse_program(
-            "# the paper's intro example\nvar a b c\nnck a b : 0 1\nnck b c : 1\n",
-        )
-        .unwrap();
+        let p =
+            parse_program("# the paper's intro example\nvar a b c\nnck a b : 0 1\nnck b c : 1\n")
+                .unwrap();
         assert_eq!(p.num_vars(), 3);
         assert_eq!(p.num_hard(), 2);
         assert!(p.all_hard_satisfied(&[false, true, false]));
@@ -134,9 +125,7 @@ mod tests {
         assert!(parse_program("var a\nnck b : 1\n").unwrap_err().contains("unknown variable"));
         assert!(parse_program("var a\nnck a : x\n").unwrap_err().contains("bad selection"));
         assert!(parse_program("var a\nsoft*zero a : 0\n").unwrap_err().contains("bad weight"));
-        assert!(parse_program("var a\nnck a : 5\n")
-            .unwrap_err()
-            .contains("selection value 5"));
+        assert!(parse_program("var a\nnck a : 5\n").unwrap_err().contains("selection value 5"));
     }
 
     #[test]

@@ -2,180 +2,26 @@
 //! backend, decoding and classifying the results.
 //!
 //! This is the porcelain most users want — the equivalent of the
-//! Python NchooseK `solve(env, solver=...)` entry point. It wires
-//! together the compiler (`nck-compile`), the backends (`nck-anneal`,
-//! `nck-circuit`), and the classical oracle (`nck-classical`).
+//! Python NchooseK `solve(env, solver=...)` entry point. The machinery
+//! lives in [`nck_exec`]: a [`Backend`] trait over all four solver
+//! paths, an [`ExecutionPlan`] that compiles once and fans out to any
+//! backend or seed sweep, per-stage [`StageTimings`], and typed
+//! [`ExecError`] failures. The original free functions remain as thin
+//! wrappers.
 
-use nck_anneal::{AnnealError, AnnealerDevice};
-use nck_circuit::{GateModelDevice, QaoaError};
-use nck_classical::{solve as classical_solve, OptimalityOracle, SolveOutcome, SolverOptions};
-use nck_compile::{compile, CompileError, CompiledProgram, CompilerOptions};
-use nck_core::{Program, SolutionQuality};
-use std::fmt;
-
-/// Errors from end-to-end execution.
-#[derive(Debug)]
-pub enum ExecError {
-    /// Compilation to QUBO failed.
-    Compile(CompileError),
-    /// The annealing backend failed.
-    Anneal(AnnealError),
-    /// The gate-model backend failed.
-    Qaoa(QaoaError),
-    /// The program's hard constraints are unsatisfiable.
-    Unsatisfiable,
-}
-
-impl fmt::Display for ExecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExecError::Compile(e) => write!(f, "compile error: {e}"),
-            ExecError::Anneal(e) => write!(f, "annealer error: {e}"),
-            ExecError::Qaoa(e) => write!(f, "gate-model error: {e}"),
-            ExecError::Unsatisfiable => write!(f, "hard constraints are unsatisfiable"),
-        }
-    }
-}
-
-impl std::error::Error for ExecError {}
-
-impl From<CompileError> for ExecError {
-    fn from(e: CompileError) -> Self {
-        ExecError::Compile(e)
-    }
-}
-impl From<AnnealError> for ExecError {
-    fn from(e: AnnealError) -> Self {
-        ExecError::Anneal(e)
-    }
-}
-impl From<QaoaError> for ExecError {
-    fn from(e: QaoaError) -> Self {
-        ExecError::Qaoa(e)
-    }
-}
-
-/// The outcome of running a program on a quantum backend.
-#[derive(Clone, Debug)]
-pub struct ExecOutcome {
-    /// Best assignment over the program variables.
-    pub assignment: Vec<bool>,
-    /// Its quality per Definition 8, judged against the classical
-    /// optimum.
-    pub quality: SolutionQuality,
-    /// Soft constraints satisfied by `assignment` (count).
-    pub soft_satisfied: usize,
-    /// The classical soft optimum, as a satisfied *weight* (equal to a
-    /// count when all weights are 1).
-    pub max_soft: u64,
-    /// The compiled program (QUBO size, ancillas, weights, stats).
-    pub compiled: CompiledProgram,
-}
-
-/// Solve on the simulated D-Wave annealer: one job of `num_reads`
-/// samples, best sample reported (the paper's §VII protocol).
-pub fn run_on_annealer(
-    program: &Program,
-    device: &AnnealerDevice,
-    num_reads: usize,
-    seed: u64,
-) -> Result<ExecOutcome, ExecError> {
-    let compiled = compile(program, &CompilerOptions::default())?;
-    let result = device.sample_qubo(&compiled.qubo, num_reads, seed)?;
-    let oracle = OptimalityOracle::build(program);
-    let max_soft = oracle.max_soft.ok_or(ExecError::Unsatisfiable)?;
-    // Pick the best sample by quality, then by soft count.
-    let mut best: Option<(SolutionQuality, u64, Vec<bool>)> = None;
-    for s in &result.samples {
-        let assignment = compiled.program_assignment(&s.assignment).to_vec();
-        let quality = oracle.classify(program, &assignment);
-        let soft = program.evaluate(&assignment).soft_weight_satisfied;
-        if best
-            .as_ref()
-            .is_none_or(|(q, sf, _)| (quality, soft) > (*q, *sf))
-        {
-            best = Some((quality, soft, assignment));
-        }
-    }
-    let (quality, _, assignment) = best.expect("at least one sample");
-    let soft_satisfied = program.evaluate(&assignment).soft_satisfied;
-    Ok(ExecOutcome { assignment, quality, soft_satisfied, max_soft, compiled })
-}
-
-/// Solve on the simulated gate-model device via QAOA (single returned
-/// result, as in §VIII-B).
-pub fn run_on_gate_model(
-    program: &Program,
-    device: &GateModelDevice,
-    layers: usize,
-    shots: usize,
-    max_iter: usize,
-    seed: u64,
-) -> Result<ExecOutcome, ExecError> {
-    let compiled = compile(program, &CompilerOptions::default())?;
-    let run = device.run_qaoa(&compiled.qubo, layers, shots, max_iter, seed)?;
-    let oracle = OptimalityOracle::build(program);
-    let max_soft = oracle.max_soft.ok_or(ExecError::Unsatisfiable)?;
-    let assignment = compiled.program_assignment(&run.best_assignment).to_vec();
-    let quality = oracle.classify(program, &assignment);
-    let soft_satisfied = program.evaluate(&assignment).soft_satisfied;
-    Ok(ExecOutcome { assignment, quality, soft_satisfied, max_soft, compiled })
-}
-
-/// Solve a *hard-only* program by Grover search on the simulated gate
-/// model — the lineage of the original NchooseK abstraction (§I cites
-/// its first use in a Grover search). Uses the BBHT schedule for an
-/// unknown solution count: exponentially growing iteration guesses,
-/// each measured once and checked classically.
-///
-/// Limited to ≤ 20 variables (state-vector oracle) and programs with
-/// no soft constraints (Grover amplifies *satisfying* assignments; it
-/// has no notion of soft-count optimality).
-pub fn run_on_grover(program: &Program, seed: u64) -> Result<ExecOutcome, ExecError> {
-    use nck_circuit::grover_search;
-    assert!(
-        program.num_soft() == 0,
-        "Grover backend supports hard-only programs"
-    );
-    let n = program.num_vars();
-    assert!(n <= 20, "Grover simulation limited to 20 variables");
-    let compiled = compile(program, &CompilerOptions::default())?;
-    let predicate = |bits: u64| {
-        let x: Vec<bool> = (0..n).map(|q| bits >> q & 1 == 1).collect();
-        program.all_hard_satisfied(&x)
-    };
-    // BBHT: try m = ⌈1.2^j⌉ iterations, j = 0, 1, …; measure once per
-    // guess. Expected O(√(N/M)) total oracle calls.
-    let mut m = 1.0f64;
-    let mut found: Option<Vec<bool>> = None;
-    for j in 0..64 {
-        let iters = m.ceil() as usize;
-        let r = grover_search(n, predicate, iters, seed ^ j);
-        if r.satisfying {
-            found = Some(r.assignment);
-            break;
-        }
-        m = (m * 1.3).min((1u64 << n) as f64);
-    }
-    let assignment = found.ok_or(ExecError::Unsatisfiable)?;
-    let oracle = OptimalityOracle::build(program);
-    let max_soft = oracle.max_soft.ok_or(ExecError::Unsatisfiable)?;
-    let quality = oracle.classify(program, &assignment);
-    let soft_satisfied = program.evaluate(&assignment).soft_satisfied;
-    Ok(ExecOutcome { assignment, quality, soft_satisfied, max_soft, compiled })
-}
-
-/// Solve classically (the Z3-role baseline): exact branch and bound.
-pub fn run_classically(program: &Program) -> Result<(Vec<bool>, usize), ExecError> {
-    match classical_solve(program, &SolverOptions::default()).0 {
-        SolveOutcome::Solved { assignment, soft_satisfied, .. } => Ok((assignment, soft_satisfied)),
-        SolveOutcome::Unsatisfiable => Err(ExecError::Unsatisfiable),
-    }
-}
+pub use nck_exec::{
+    run_classically, run_on_annealer, run_on_gate_model, run_on_grover, AnnealerBackend, Backend,
+    BackendMetrics, Candidates, ClassicalBackend, ExecError, ExecOutcome, ExecReport,
+    ExecutionPlan, GateModelBackend, GroverBackend, PlanStats, Prepared, StageTimings, Tally,
+    BBHT_GROWTH, PACKED_SAMPLER_LIMIT,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nck_anneal::AnnealerDevice;
+    use nck_circuit::GateModelDevice;
+    use nck_core::{Program, SolutionQuality};
 
     fn vertex_cover() -> Program {
         let mut p = Program::new();

@@ -35,8 +35,10 @@
 //! Crate map: [`nck_core`] (the DSL) → [`nck_compile`] (QUBO compiler,
 //! with [`nck_smt`] as its exact-arithmetic solver and [`nck_qubo`] as
 //! the IR) → [`nck_anneal`] / [`nck_circuit`] (backends) and
-//! [`nck_classical`] (exact baseline + optimality oracle), with
-//! [`nck_problems`] providing the paper's seven benchmark problems.
+//! [`nck_classical`] (exact baseline + optimality oracle) →
+//! [`nck_exec`] (the unified `Backend` trait + `ExecutionPlan`
+//! execution layer), with [`nck_problems`] providing the paper's seven
+//! benchmark problems.
 
 #![warn(missing_docs)]
 
@@ -48,6 +50,7 @@ pub use nck_circuit;
 pub use nck_classical;
 pub use nck_compile;
 pub use nck_core;
+pub use nck_exec;
 pub use nck_problems;
 pub use nck_qubo;
 pub use nck_smt;
@@ -55,8 +58,9 @@ pub use nck_smt;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::exec::{
-        run_classically, run_on_annealer, run_on_gate_model, run_on_grover, ExecError,
-        ExecOutcome,
+        run_classically, run_on_annealer, run_on_gate_model, run_on_grover, AnnealerBackend,
+        Backend, BackendMetrics, ClassicalBackend, ExecError, ExecOutcome, ExecReport,
+        ExecutionPlan, GateModelBackend, GroverBackend, StageTimings,
     };
     pub use nck_anneal::AnnealerDevice;
     pub use nck_circuit::GateModelDevice;

@@ -1,9 +1,9 @@
 //! `nchoosek` command-line driver: solve a `.nck` program on a chosen
-//! backend.
+//! backend, selected uniformly through the [`Backend`] trait.
 //!
 //! ```text
 //! nchoosek <file.nck> [--backend annealer|gate|classical|grover]
-//!                     [--seed N] [--reads N] [--qubo]
+//!                     [--seed N] [--reads N] [--qubo] [--stages]
 //! ```
 
 use nchoosek::cli::{format_assignment, parse_program};
@@ -13,9 +13,22 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nchoosek <file.nck> [--backend annealer|gate|classical|grover] \
-         [--seed N] [--reads N] [--qubo]"
+         [--seed N] [--reads N] [--qubo] [--stages]"
     );
     ExitCode::from(2)
+}
+
+/// Build the named backend with its paper-default device preset.
+fn make_backend(name: &str, reads: usize) -> Option<Box<dyn Backend>> {
+    match name {
+        "annealer" => Some(Box::new(AnnealerBackend::new(AnnealerDevice::advantage_4_1(), reads))),
+        "gate" => {
+            Some(Box::new(GateModelBackend::new(GateModelDevice::ibmq_brooklyn(), 1, 4000, 30)))
+        }
+        "grover" => Some(Box::new(GroverBackend::default())),
+        "classical" => Some(Box::new(ClassicalBackend::default())),
+        _ => None,
+    }
 }
 
 fn main() -> ExitCode {
@@ -25,6 +38,7 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut reads = 100usize;
     let mut dump_qubo = false;
+    let mut show_stages = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -41,6 +55,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--qubo" => dump_qubo = true,
+            "--stages" => show_stages = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -88,44 +103,26 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let outcome = match backend.as_str() {
-        "annealer" => {
-            let device = AnnealerDevice::advantage_4_1();
-            run_on_annealer(&program, &device, reads, seed)
-        }
-        "gate" => {
-            let device = GateModelDevice::ibmq_brooklyn();
-            run_on_gate_model(&program, &device, 1, 4000, 30, seed)
-        }
-        "grover" => run_on_grover(&program, seed),
-        "classical" => match run_classically(&program) {
-            Ok((assignment, soft)) => {
-                println!("classical optimum: {soft} soft constraint(s) satisfied");
-                println!("{}", format_assignment(&program, &assignment));
-                return ExitCode::SUCCESS;
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        other => {
-            eprintln!("error: unknown backend {other:?}");
-            return usage();
-        }
+    let Some(solver) = make_backend(&backend, reads) else {
+        eprintln!("error: unknown backend {backend:?}");
+        return usage();
     };
-    match outcome {
-        Ok(out) => {
-            let ev = program.evaluate(&out.assignment);
+    let plan = ExecutionPlan::new(&program);
+    match plan.run(solver.as_ref(), seed) {
+        Ok(report) => {
             println!(
-                "{backend} result: {} ({} of {} soft constraints; weight {} of optimum {})",
-                out.quality,
-                out.soft_satisfied,
+                "{} result: {} ({} of {} soft constraints; weight {} of optimum {})",
+                report.backend,
+                report.quality,
+                report.soft_satisfied,
                 program.num_soft(),
-                ev.soft_weight_satisfied,
-                out.max_soft
+                report.soft_weight,
+                report.max_soft
             );
-            println!("{}", format_assignment(&program, &out.assignment));
+            println!("{}", format_assignment(&program, &report.assignment));
+            if show_stages {
+                print!("{}\n{}", StageTimings::CSV_HEADER, report.timings.csv_rows(&backend));
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -58,22 +58,14 @@ fn min_vertex_cover_instances() {
 
 #[test]
 fn max_cut_instances() {
-    for g in [
-        Graph::cycle(6),
-        Graph::cycle(5),
-        Graph::complete(4),
-        Graph::random_gnm(9, 14, 2),
-    ] {
+    for g in [Graph::cycle(6), Graph::cycle(5), Graph::complete(4), Graph::random_gnm(9, 14, 2)] {
         assert_qubo_matches_program(&MaxCut::new(g).program());
     }
 }
 
 #[test]
 fn exact_cover_instance() {
-    let ec = ExactCover::new(
-        4,
-        vec![vec![0, 1], vec![2, 3], vec![1, 2], vec![0, 1, 2], vec![3]],
-    );
+    let ec = ExactCover::new(4, vec![vec![0, 1], vec![2, 3], vec![1, 2], vec![0, 1, 2], vec![3]]);
     assert_qubo_matches_program(&ec.program());
 }
 

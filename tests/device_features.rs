@@ -64,12 +64,8 @@ fn embedding_reuse_matches_fresh_embedding() {
     let device = AnnealerDevice::advantage_4_1();
     let adj = compiled.qubo.adjacency();
     let embedding = find_embedding(&adj, &device.topology, 7, 5).expect("embeds");
-    let a = device
-        .sample_qubo_embedded(&compiled.qubo, &embedding, 30, 11)
-        .unwrap();
-    let b = device
-        .sample_qubo_embedded(&compiled.qubo, &embedding, 30, 11)
-        .unwrap();
+    let a = device.sample_qubo_embedded(&compiled.qubo, &embedding, 30, 11).unwrap();
+    let b = device.sample_qubo_embedded(&compiled.qubo, &embedding, 30, 11).unwrap();
     assert_eq!(a.physical_qubits, b.physical_qubits);
     assert_eq!(a.best().energy, b.best().energy, "reuse must be deterministic");
 }
@@ -117,7 +113,9 @@ fn qasm_export_of_transpiled_qaoa() {
             continue;
         }
         assert!(
-            line.starts_with("rz") || line.starts_with("rx") || line.starts_with("cx")
+            line.starts_with("rz")
+                || line.starts_with("rx")
+                || line.starts_with("cx")
                 || line.starts_with('x'),
             "unexpected gate line: {line}"
         );

@@ -40,10 +40,7 @@ fn weight_equals_duplication() {
     };
     let weighted = build(false);
     let duplicated = build(true);
-    assert_eq!(
-        max_soft_satisfiable(&weighted),
-        max_soft_satisfiable(&duplicated)
-    );
+    assert_eq!(max_soft_satisfiable(&weighted), max_soft_satisfiable(&duplicated));
     let a = solve_brute(&weighted).unwrap();
     let b = solve_brute(&duplicated).unwrap();
     assert_eq!(a.optima, b.optima, "same optimal assignments");
@@ -92,9 +89,6 @@ fn weighted_max_cut_on_annealer() {
     device.sa = SaParams { num_sweeps: 256, ..SaParams::default() };
     let out = run_on_annealer(&program, &device, 100, 8).unwrap();
     assert_eq!(out.quality, SolutionQuality::Optimal);
-    assert_ne!(
-        out.assignment[0], out.assignment[2],
-        "the weight-20 diagonal must be cut"
-    );
+    assert_ne!(out.assignment[0], out.assignment[2], "the weight-20 diagonal must be cut");
     assert_eq!(mc.cut_weight(&out.assignment), out.max_soft);
 }
