@@ -89,6 +89,19 @@ fn compact_view(ising: &Ising) -> Compact {
     Compact { qubits, h, adj }
 }
 
+/// SplitMix64 finalizer: the statistically-mixed output function of
+/// the SplitMix64 generator (Steele, Lea & Flood). Used to derive
+/// per-read RNG seeds: read `r` of job seed `s` takes the `r`-th
+/// element of the SplitMix64 stream seeded at `s`. The previous
+/// `seed ^ read·φ` scheme left read 0 equal to the raw job seed and
+/// made `(seed, read)` pairs collide trivially across seed sweeps
+/// (e.g. `(s ^ φ, 0)` and `(s, 1)` produced identical reads).
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
 /// Box–Muller standard normal.
 fn gaussian(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(1e-300);
@@ -151,8 +164,13 @@ pub fn sample_ising_clustered(
     (0..num_reads)
         .into_par_iter()
         .map(|read| {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (read as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            // Finalize the job seed before mixing in the read index:
+            // combining the raw inputs linearly (the old
+            // `seed ^ read·φ`) makes stream (seed, read) collide with
+            // (seed ^ k·φ, read ± k) for every k.
+            let mut rng = StdRng::seed_from_u64(splitmix64(
+                splitmix64(seed) ^ (read as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
+            ));
             // Per-read ICE perturbation.
             let h: Vec<f64> =
                 compact.h.iter().map(|&v| v + noise.h_sigma * gaussian(&mut rng)).collect();

@@ -3,12 +3,13 @@
 
 use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
 use crate::error::ExecError;
+use crate::fault::FaultInjection;
 use crate::stage::StageTimings;
 use nck_anneal::{find_embedding, AnnealError, AnnealerDevice, Embedding, Topology};
 use nck_qubo::Qubo;
+use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// One job of `num_reads` samples on a simulated annealer, best sample
@@ -30,6 +31,9 @@ pub struct AnnealerBackend {
     /// Extra embedding attempts with fresh rip-up seeds after the
     /// device's own per-seed tries are exhausted.
     pub embed_reseed_tries: u32,
+    /// Deterministic fault injection for exercising the retry and
+    /// fallback policies in tests.
+    pub faults: FaultInjection,
     /// Last found embedding, keyed by QUBO structure fingerprint.
     embedding_cache: Mutex<Option<(u64, Embedding)>>,
 }
@@ -41,8 +45,15 @@ impl AnnealerBackend {
             device,
             num_reads,
             embed_reseed_tries: 3,
+            faults: FaultInjection::default(),
             embedding_cache: Mutex::new(None),
         }
+    }
+
+    /// The same backend with deterministic fault injection enabled.
+    pub fn with_faults(mut self, faults: FaultInjection) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Structural fingerprint of a QUBO: embeddings depend only on the
@@ -67,7 +78,7 @@ impl AnnealerBackend {
         stages: &mut StageTimings,
     ) -> Result<Embedding, ExecError> {
         let fp = Self::fingerprint(qubo);
-        let mut cached = self.embedding_cache.lock().unwrap();
+        let mut cached = self.embedding_cache.lock();
         if let Some((cached_fp, e)) = &*cached {
             if *cached_fp == fp {
                 stages.embed_cache_hit = true;
@@ -77,6 +88,13 @@ impl AnnealerBackend {
         let adj = qubo.adjacency();
         let mut found = None;
         for attempt in 0..=u64::from(self.embed_reseed_tries) {
+            // Injected failure: discard this attempt as if the
+            // heuristic embedder had failed, driving the rip-up retry
+            // (and eventually the clique fallback) deterministically.
+            if attempt < u64::from(self.faults.embed_failures) {
+                stages.embed_retries += 1;
+                continue;
+            }
             let rip_up_seed = seed ^ attempt.wrapping_mul(0x9e3779b97f4a7c15);
             if let Some(e) =
                 find_embedding(&adj, &self.device.topology, rip_up_seed, self.device.embed_tries)

@@ -3,6 +3,7 @@
 
 use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
 use crate::error::ExecError;
+use crate::fault::FaultInjection;
 use crate::stage::StageTimings;
 use nck_circuit::{GateModelDevice, QaoaError};
 use std::time::Instant;
@@ -32,12 +33,28 @@ pub struct GateModelBackend {
     /// Retry at p = 1 (analytic evaluator) when the instance exceeds
     /// the exact simulator at the requested depth.
     pub analytic_fallback: bool,
+    /// Deterministic fault injection for exercising the fallback
+    /// policy in tests.
+    pub faults: FaultInjection,
 }
 
 impl GateModelBackend {
     /// A backend on `device` with the given QAOA parameters.
     pub fn new(device: GateModelDevice, layers: usize, shots: usize, max_iter: usize) -> Self {
-        GateModelBackend { device, layers, shots, max_iter, analytic_fallback: true }
+        GateModelBackend {
+            device,
+            layers,
+            shots,
+            max_iter,
+            analytic_fallback: true,
+            faults: FaultInjection::default(),
+        }
+    }
+
+    /// The same backend with deterministic fault injection enabled.
+    pub fn with_faults(mut self, faults: FaultInjection) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -58,7 +75,14 @@ impl Backend for GateModelBackend {
         }
         let qubo = &prepared.compiled.qubo;
         let t = Instant::now();
-        let run = match self.device.run_qaoa(qubo, self.layers, self.shots, self.max_iter, seed) {
+        // Injected fault: report the first attempt as a state-vector
+        // overflow so the fallback policy below runs deterministically.
+        let first = if self.faults.qaoa_overflow {
+            Err(QaoaError::TooLargeToSimulate { needed: n, sim_limit: 0 })
+        } else {
+            self.device.run_qaoa(qubo, self.layers, self.shots, self.max_iter, seed)
+        };
+        let run = match first {
             Ok(r) => r,
             Err(QaoaError::TooLargeToSimulate { .. })
                 if self.analytic_fallback && self.layers > 1 =>

@@ -1,0 +1,49 @@
+//! Deterministic fault injection for exercising backend fallback
+//! policies.
+//!
+//! The retry and fallback paths of [`AnnealerBackend`] and
+//! [`GateModelBackend`] (embedding rip-up reseeds, the clique-embedding
+//! fallback, the analytic p = 1 QAOA fallback) otherwise only trigger
+//! when a real instance happens to defeat the heuristic embedder or
+//! overflow the state-vector simulator. A [`FaultInjection`] makes
+//! those failures happen on demand — and deterministically — so the
+//! `nck-verify` harness and the fallback tests can drive every branch
+//! of the policy on small, fast instances.
+//!
+//! [`AnnealerBackend`]: crate::AnnealerBackend
+//! [`GateModelBackend`]: crate::GateModelBackend
+
+/// Faults to inject into a backend run. The default injects nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Treat this many leading heuristic embedding attempts as failed,
+    /// as if the rip-up embedder could not fit the problem. Values in
+    /// `1..=embed_reseed_tries` exercise the reseed retry; larger
+    /// values exhaust every heuristic attempt and force the
+    /// clique-embedding fallback (or a typed
+    /// [`EmbeddingFailed`](nck_anneal::AnnealError::EmbeddingFailed)
+    /// when no fallback is configured).
+    pub embed_failures: u32,
+    /// Report a state-vector overflow
+    /// ([`TooLargeToSimulate`](nck_circuit::QaoaError::TooLargeToSimulate))
+    /// on the first QAOA attempt, forcing the analytic p = 1 fallback
+    /// (or the typed error when the fallback is disabled).
+    pub qaoa_overflow: bool,
+}
+
+impl FaultInjection {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        FaultInjection::default()
+    }
+
+    /// Fail the first `n` heuristic embedding attempts.
+    pub fn embed_failures(n: u32) -> Self {
+        FaultInjection { embed_failures: n, ..FaultInjection::default() }
+    }
+
+    /// Force a state-vector overflow on the first QAOA attempt.
+    pub fn qaoa_overflow() -> Self {
+        FaultInjection { qaoa_overflow: true, ..FaultInjection::default() }
+    }
+}

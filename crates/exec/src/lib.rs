@@ -50,6 +50,7 @@
 pub mod backend;
 pub mod backends;
 pub mod error;
+pub mod fault;
 pub mod plan;
 pub mod stage;
 
@@ -59,6 +60,7 @@ pub use backends::{
     PACKED_SAMPLER_LIMIT,
 };
 pub use error::ExecError;
+pub use fault::FaultInjection;
 pub use plan::{ExecReport, ExecutionPlan, PlanStats, Tally};
 pub use stage::StageTimings;
 

@@ -15,8 +15,9 @@ use crate::stage::StageTimings;
 use nck_classical::OptimalityOracle;
 use nck_compile::{compile, CompiledProgram, CompilerOptions};
 use nck_core::{Program, SolutionQuality};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Classification tally over one run's candidate assignments.
@@ -124,7 +125,7 @@ impl<'p> ExecutionPlan<'p> {
     /// dynamic-programming optimum, as the scaling studies do for
     /// instances too large to branch-and-bound).
     pub fn with_oracle(self, oracle: OptimalityOracle) -> Self {
-        *self.oracle.lock().unwrap() = Some(Arc::new(oracle));
+        *self.oracle.lock() = Some(Arc::new(oracle));
         self
     }
 
@@ -140,7 +141,7 @@ impl<'p> ExecutionPlan<'p> {
     }
 
     fn compiled_cached(&self) -> Result<(Arc<CompiledProgram>, bool), ExecError> {
-        let mut guard = self.compiled.lock().unwrap();
+        let mut guard = self.compiled.lock();
         if let Some(c) = &*guard {
             self.compile_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(c), true));
@@ -154,7 +155,7 @@ impl<'p> ExecutionPlan<'p> {
     /// The optimality oracle, built by a classical solve on first use
     /// and served from the cache thereafter.
     pub fn oracle(&self) -> Arc<OptimalityOracle> {
-        let mut guard = self.oracle.lock().unwrap();
+        let mut guard = self.oracle.lock();
         if let Some(o) = &*guard {
             self.oracle_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(o);
@@ -167,7 +168,7 @@ impl<'p> ExecutionPlan<'p> {
 
     /// Seed the oracle from a proven optimum if it isn't built yet.
     fn seed_oracle(&self, soft_weight: u64) {
-        let mut guard = self.oracle.lock().unwrap();
+        let mut guard = self.oracle.lock();
         if guard.is_none() {
             *guard = Some(Arc::new(OptimalityOracle { max_soft: Some(soft_weight) }));
         }

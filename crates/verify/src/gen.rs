@@ -1,0 +1,215 @@
+//! Seeded random NchooseK program generation over the paper's problem
+//! families, for differential testing.
+//!
+//! Instances are deliberately small: the harness exhaustively
+//! enumerates QUBO spaces and brute-forces every program, so programs
+//! stay under ~10 variables and their compiled QUBOs under
+//! [`invariants::EXHAUSTIVE_LIMIT`](crate::invariants::EXHAUSTIVE_LIMIT)
+//! variables where possible. Unsatisfiable instances are generated on
+//! purpose — agreeing that a program is unsatisfiable is itself a
+//! differential check.
+
+use nck_core::Program;
+use nck_problems::{CliqueCover, ExactCover, Graph, KSat, MapColoring, MaxCut, MinVertexCover};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The problem families the generator draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Minimum vertex cover: hard edge constraints + unit soft
+    /// exclusion preferences (the paper's Fig. 2 shape).
+    VertexCover,
+    /// Edge-weighted max cut: soft-only, weighted constraints.
+    WeightedMaxCut,
+    /// Exact cover: hard-only, guaranteed satisfiable by a planted
+    /// partition.
+    ExactCover,
+    /// Map coloring: hard-only one-hot + edge constraints; odd cycles
+    /// with two colors are unsatisfiable by design.
+    MapColoring,
+    /// Random 3-SAT via the repeated-variable encoding: hard-only,
+    /// satisfiability unknown a priori.
+    KSat,
+    /// Clique cover with two cliques: hard-only, sparse graphs are
+    /// often uncoverable.
+    CliqueCover,
+    /// Planted-assignment mix: hard constraints consistent with a
+    /// hidden assignment (guaranteed satisfiable) plus random weighted
+    /// soft constraints that pull against each other.
+    WeightedMix,
+}
+
+/// Every family, in generation order.
+pub const ALL_FAMILIES: [Family; 7] = [
+    Family::VertexCover,
+    Family::WeightedMaxCut,
+    Family::ExactCover,
+    Family::MapColoring,
+    Family::KSat,
+    Family::CliqueCover,
+    Family::WeightedMix,
+];
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::VertexCover => "vertex-cover",
+            Family::WeightedMaxCut => "weighted-max-cut",
+            Family::ExactCover => "exact-cover",
+            Family::MapColoring => "map-coloring",
+            Family::KSat => "3sat",
+            Family::CliqueCover => "clique-cover",
+            Family::WeightedMix => "weighted-mix",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A generated program plus its provenance.
+#[derive(Clone, Debug)]
+pub struct GeneratedProgram {
+    /// `"<family>#<seed>"`, used in discrepancy reports.
+    pub name: String,
+    /// The family this instance was drawn from.
+    pub family: Family,
+    /// The generator seed that reproduces it.
+    pub seed: u64,
+    /// The program itself.
+    pub program: Program,
+}
+
+fn random_graph(rng: &mut StdRng, n: usize, extra_edges: usize, seed: u64) -> Graph {
+    let max_edges = n * (n - 1) / 2;
+    let m = rng.random_range(n - 1..=(n - 1 + extra_edges).min(max_edges));
+    Graph::random_gnm(n, m, seed)
+}
+
+impl Family {
+    /// Deterministically generate one instance of this family.
+    pub fn generate(self, seed: u64) -> GeneratedProgram {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642f);
+        let program = match self {
+            Family::VertexCover => {
+                let n = rng.random_range(4..=6);
+                MinVertexCover::new(random_graph(&mut rng, n, 3, seed)).program()
+            }
+            Family::WeightedMaxCut => {
+                let n = rng.random_range(4..=6);
+                let g = random_graph(&mut rng, n, 2, seed);
+                let weights = (0..g.num_edges()).map(|_| rng.random_range(1..=5)).collect();
+                MaxCut::with_weights(g, weights).program()
+            }
+            Family::ExactCover => {
+                let elements = rng.random_range(3..=5);
+                let extra = rng.random_range(1..=2);
+                ExactCover::random(elements, extra, seed).program()
+            }
+            Family::MapColoring => {
+                let n = rng.random_range(3..=5);
+                let colors = rng.random_range(2..=3);
+                MapColoring::new(Graph::cycle(n), colors).program()
+            }
+            Family::KSat => {
+                let vars = rng.random_range(4..=5);
+                let clauses = rng.random_range(3..=5);
+                KSat::random_3sat(vars, clauses, seed).program_repeated()
+            }
+            Family::CliqueCover => {
+                let n = rng.random_range(4..=5);
+                CliqueCover::new(random_graph(&mut rng, n, 3, seed), 2).program()
+            }
+            Family::WeightedMix => planted_mix(&mut rng),
+        };
+        GeneratedProgram { name: format!("{self}#{seed}"), family: self, seed, program }
+    }
+}
+
+/// A random program whose hard constraints are all consistent with a
+/// hidden planted assignment (so the hard part is satisfiable by
+/// construction), plus weighted soft constraints chosen freely.
+fn planted_mix(rng: &mut StdRng) -> Program {
+    let n = rng.random_range(4..=6);
+    let mut p = Program::new();
+    let vars = p.new_vars("x", n).expect("fresh names");
+    let planted: Vec<bool> = (0..n).map(|_| rng.random()).collect();
+    let num_hard = rng.random_range(2..=3);
+    for _ in 0..num_hard {
+        let k = rng.random_range(2..=3);
+        let picked = pick_distinct(rng, n, k);
+        let count = picked.iter().filter(|&&v| planted[v]).count() as u32;
+        // The planted count always selects; one extra value widens the
+        // solution set without breaking satisfiability.
+        let mut selection = vec![count];
+        let extra = rng.random_range(0..=k as u32);
+        if extra != count {
+            selection.push(extra);
+        }
+        p.nck(picked.iter().map(|&v| vars[v]).collect::<Vec<_>>(), selection)
+            .expect("planted hard constraint");
+    }
+    let num_soft = rng.random_range(2..=4);
+    for _ in 0..num_soft {
+        let k = rng.random_range(1..=3);
+        let picked = pick_distinct(rng, n, k);
+        let selection = [rng.random_range(0..=k as u32)];
+        let weight = rng.random_range(1..=5);
+        p.nck_soft_weighted(picked.iter().map(|&v| vars[v]).collect::<Vec<_>>(), selection, weight)
+            .expect("soft constraint");
+    }
+    p
+}
+
+fn pick_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let mut picked = Vec::with_capacity(k);
+    while picked.len() < k {
+        let v = rng.random_range(0..n);
+        if !picked.contains(&v) {
+            picked.push(v);
+        }
+    }
+    picked
+}
+
+/// Generate `per_family` instances of every family, seeds
+/// `base_seed..base_seed + per_family`.
+pub fn corpus(per_family: usize, base_seed: u64) -> Vec<GeneratedProgram> {
+    ALL_FAMILIES
+        .iter()
+        .flat_map(|&f| (0..per_family as u64).map(move |i| f.generate(base_seed + i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for &f in &ALL_FAMILIES {
+            let a = f.generate(7);
+            let b = f.generate(7);
+            assert_eq!(a.program.num_vars(), b.program.num_vars());
+            assert_eq!(a.program.constraints().len(), b.program.constraints().len());
+            assert_eq!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn corpus_covers_every_family() {
+        let c = corpus(3, 11);
+        assert_eq!(c.len(), 3 * ALL_FAMILIES.len());
+        for &f in &ALL_FAMILIES {
+            assert_eq!(c.iter().filter(|g| g.family == f).count(), 3);
+        }
+    }
+
+    #[test]
+    fn programs_stay_brute_forceable() {
+        for g in corpus(4, 3) {
+            assert!(g.program.num_vars() <= 30, "{} has {} vars", g.name, g.program.num_vars());
+            assert!(g.program.num_vars() >= 2);
+        }
+    }
+}

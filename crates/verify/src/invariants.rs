@@ -1,0 +1,428 @@
+//! Metamorphic invariants: relations that must hold by construction,
+//! checked exhaustively on small instances.
+
+use crate::gen::GeneratedProgram;
+use crate::{bits_to_assignment, Discrepancy};
+use nck_anneal::{find_embedding, sample_ising, Gauge, NoiseModel, SaParams, Topology};
+use nck_classical::{solve_brute, BruteResult};
+use nck_compile::{compile, CompiledProgram, CompilerOptions};
+use nck_core::Program;
+use nck_qubo::Qubo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Largest QUBO (in variables) the exhaustive checks will enumerate.
+pub const EXHAUSTIVE_LIMIT: usize = 16;
+
+/// Absolute tolerance for energy identities, scaled to the
+/// Hamiltonian's magnitude: exact conversions only reassociate sums,
+/// so anything beyond accumulated rounding is a real defect.
+fn energy_tolerance(max_abs_coeff: f64, num_terms: usize) -> f64 {
+    1e-9 * (1.0 + max_abs_coeff) * (1.0 + num_terms as f64)
+}
+
+/// **QUBO ↔ Ising round-trip.** Converting to the Ising form
+/// (`x = (1+s)/2`) and back must preserve the energy of every
+/// assignment, and the Ising energy of the corresponding spin vector
+/// must equal the QUBO energy of the binary vector.
+pub fn qubo_ising_roundtrip(name: &str, qubo: &Qubo) -> Vec<Discrepancy> {
+    let n = qubo.num_vars();
+    if n > EXHAUSTIVE_LIMIT {
+        return Vec::new();
+    }
+    let ising = qubo.to_ising();
+    let back = ising.to_qubo();
+    let tol = energy_tolerance(qubo.max_abs_coeff(), qubo.num_terms());
+    let mut out = Vec::new();
+    for bits in 0..1u64 << n {
+        let e_q = qubo.energy_bits(bits);
+        let e_rt = back.energy_bits(bits);
+        if (e_q - e_rt).abs() > tol {
+            out.push(Discrepancy::new(
+                name,
+                "qubo-ising-roundtrip",
+                format!("assignment {bits:#b}: QUBO energy {e_q}, round-trip energy {e_rt}"),
+            ));
+            break;
+        }
+        let spins = bits_to_assignment(bits, n);
+        let e_i = ising.energy(&spins);
+        if (e_q - e_i).abs() > tol {
+            out.push(Discrepancy::new(
+                name,
+                "qubo-ising-energy",
+                format!("assignment {bits:#b}: QUBO energy {e_q}, Ising energy {e_i}"),
+            ));
+            break;
+        }
+    }
+    out
+}
+
+/// **Gauge invariance.** A spin-reversal transform changes the
+/// Hamiltonian's coefficients but not its spectrum: for every sample
+/// `t` drawn from the gauged Ising, `E_gauged(t) = E(decode(t))`. Runs
+/// the real simulated-annealing sampler on the gauged Hamiltonian and
+/// checks every returned sample.
+pub fn gauge_invariance(name: &str, qubo: &Qubo, seed: u64) -> Vec<Discrepancy> {
+    let ising = qubo.to_ising();
+    let n = ising.num_spins();
+    if n == 0 {
+        return Vec::new();
+    }
+    let gauge = Gauge::random(n, seed);
+    let gauged = gauge.apply(&ising);
+    let tol = energy_tolerance(ising.max_abs_coeff(), ising.num_terms());
+    let mut out = Vec::new();
+    // Exact spectrum identity on random spin vectors.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+    for _ in 0..64 {
+        let t: Vec<bool> = (0..n).map(|_| rng.random()).collect();
+        let decoded = gauge.decode(&t);
+        let e_g = gauged.energy(&t);
+        let e = ising.energy(&decoded);
+        if (e_g - e).abs() > tol {
+            out.push(Discrepancy::new(
+                name,
+                "gauge-energy-identity",
+                format!("gauged energy {e_g} != decoded original energy {e}"),
+            ));
+            return out;
+        }
+    }
+    // The same identity over actual sampler output.
+    let params = SaParams { num_sweeps: 64, ..SaParams::default() };
+    for t in sample_ising(&gauged, &params, &NoiseModel::ideal(), 16, seed) {
+        let decoded = gauge.decode(&t);
+        let e_g = gauged.energy(&t);
+        let e = ising.energy(&decoded);
+        if (e_g - e).abs() > tol {
+            out.push(Discrepancy::new(
+                name,
+                "gauge-sample-identity",
+                format!("sampled gauged energy {e_g} != decoded original energy {e}"),
+            ));
+            return out;
+        }
+    }
+    out
+}
+
+/// Rebuild `program` with its variables relabeled through `perm`
+/// (original variable `i` becomes variable `perm[i]`).
+pub fn permute_program(program: &Program, perm: &[usize]) -> Program {
+    let n = program.num_vars();
+    assert_eq!(perm.len(), n);
+    let mut p = Program::new();
+    let vars = p.new_vars("x", n).expect("fresh names");
+    for c in program.constraints() {
+        let collection: Vec<_> = c.collection().iter().map(|v| vars[perm[v.index()]]).collect();
+        let selection = c.selection().iter().copied();
+        if c.is_hard() {
+            p.nck(collection, selection).expect("permuted hard constraint");
+        } else {
+            p.nck_soft_weighted(collection, selection, c.weight())
+                .expect("permuted soft constraint");
+        }
+    }
+    p
+}
+
+/// **Variable-permutation symmetry.** Relabeling variables must
+/// permute the optima and change nothing else: the soft optimum is
+/// identical, the permuted optima map bijectively back onto the
+/// originals, and compilation produces the same ancilla count and hard
+/// weight (the per-constraint QUBOs depend only on constraint shape).
+pub fn permutation_symmetry(gp: &GeneratedProgram, seed: u64) -> Vec<Discrepancy> {
+    let n = gp.program.num_vars();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for i in (1..n).rev() {
+        perm.swap(i, rng.random_range(0..i + 1));
+    }
+    let permuted = permute_program(&gp.program, &perm);
+    let mut out = Vec::new();
+
+    match (solve_brute(&gp.program), solve_brute(&permuted)) {
+        (None, None) => {}
+        (Some(orig), Some(perm_res)) => {
+            if orig.max_soft != perm_res.max_soft {
+                out.push(Discrepancy::new(
+                    &gp.name,
+                    "permutation-max-soft",
+                    format!(
+                        "max_soft {} became {} under relabeling",
+                        orig.max_soft, perm_res.max_soft
+                    ),
+                ));
+            }
+            let mut mapped_back: Vec<u64> = perm_res
+                .optima
+                .iter()
+                .map(|&bits| (0..n).fold(0u64, |acc, i| acc | (bits >> perm[i] & 1) << i))
+                .collect();
+            mapped_back.sort_unstable();
+            if mapped_back != orig.optima {
+                out.push(Discrepancy::new(
+                    &gp.name,
+                    "permutation-optima",
+                    format!(
+                        "optima {:?} != relabeled optima mapped back {:?}",
+                        orig.optima, mapped_back
+                    ),
+                ));
+            }
+        }
+        (orig, perm_res) => {
+            out.push(Discrepancy::new(
+                &gp.name,
+                "permutation-satisfiability",
+                format!(
+                    "original satisfiable: {}, permuted satisfiable: {}",
+                    orig.is_some(),
+                    perm_res.is_some()
+                ),
+            ));
+        }
+    }
+
+    let opts = CompilerOptions::default();
+    match (compile(&gp.program, &opts), compile(&permuted, &opts)) {
+        (Ok(a), Ok(b)) => {
+            if a.num_ancillas != b.num_ancillas {
+                out.push(Discrepancy::new(
+                    &gp.name,
+                    "permutation-ancillas",
+                    format!(
+                        "{} ancillas became {} under relabeling",
+                        a.num_ancillas, b.num_ancillas
+                    ),
+                ));
+            }
+            if (a.hard_weight - b.hard_weight).abs() > 1e-9 {
+                out.push(Discrepancy::new(
+                    &gp.name,
+                    "permutation-hard-weight",
+                    format!("hard weight {} became {}", a.hard_weight, b.hard_weight),
+                ));
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            out.push(Discrepancy::new(
+                &gp.name,
+                "permutation-compile",
+                format!("compilation failed under relabeling: {e}"),
+            ));
+        }
+    }
+    out
+}
+
+/// The effective energy of each program assignment: the QUBO minimum
+/// over all ancilla completions.
+fn effective_energies(compiled: &CompiledProgram) -> Vec<f64> {
+    let np = compiled.num_program_vars;
+    let na = compiled.num_ancillas;
+    (0..1u64 << np)
+        .map(|xbits| {
+            (0..1u64 << na)
+                .map(|abits| compiled.qubo.energy_bits(xbits | abits << np))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+/// **Hard-weight soundness.** With the compiler's sound scaling
+/// `W = 1 + Σ soft penalties`, *every* hard-satisfying assignment has
+/// strictly lower effective energy than *every* hard-violating one —
+/// sampling noise can cost soft optimality but never a hard
+/// constraint. Additionally, the effective-energy minimizers must be
+/// exactly the brute-force optima.
+pub fn hard_weight_soundness(
+    gp: &GeneratedProgram,
+    compiled: &CompiledProgram,
+    brute: Option<&BruteResult>,
+) -> Vec<Discrepancy> {
+    let np = compiled.num_program_vars;
+    if np + compiled.num_ancillas > EXHAUSTIVE_LIMIT {
+        return Vec::new();
+    }
+    let eff = effective_energies(compiled);
+    let tol = energy_tolerance(compiled.qubo.max_abs_coeff(), compiled.qubo.num_terms());
+    let mut max_sat = f64::NEG_INFINITY;
+    let mut min_viol = f64::INFINITY;
+    let mut min_energy = f64::INFINITY;
+    let mut sat = vec![false; eff.len()];
+    for (xbits, &e) in eff.iter().enumerate() {
+        let x = bits_to_assignment(xbits as u64, np);
+        if gp.program.all_hard_satisfied(&x) {
+            sat[xbits] = true;
+            max_sat = max_sat.max(e);
+        } else {
+            min_viol = min_viol.min(e);
+        }
+        min_energy = min_energy.min(e);
+    }
+    let mut out = Vec::new();
+    if max_sat > f64::NEG_INFINITY && min_viol < f64::INFINITY && max_sat >= min_viol - tol {
+        out.push(Discrepancy::new(
+            &gp.name,
+            "hard-weight-separation",
+            format!(
+                "worst hard-satisfying effective energy {max_sat} does not lie strictly below \
+                 best hard-violating effective energy {min_viol}"
+            ),
+        ));
+    }
+    match brute {
+        Some(b) => {
+            let minimizers: Vec<u64> = eff
+                .iter()
+                .enumerate()
+                .filter(|&(_, &e)| e <= min_energy + tol)
+                .map(|(bits, _)| bits as u64)
+                .collect();
+            if minimizers != b.optima {
+                out.push(Discrepancy::new(
+                    &gp.name,
+                    "qubo-minimizers-vs-brute",
+                    format!(
+                        "QUBO effective-energy minimizers {minimizers:?} != brute-force optima {:?}",
+                        b.optima
+                    ),
+                ));
+            }
+        }
+        None => {
+            if sat.iter().any(|&s| s) {
+                out.push(Discrepancy::new(
+                    &gp.name,
+                    "brute-vs-evaluate",
+                    "brute force says unsatisfiable but a hard-satisfying assignment exists",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// **Chain-break repair.** Embed the compiled QUBO into a sparse
+/// (Chimera) topology: cleanly chain-extended logical samples must
+/// round-trip through majority-vote unembedding with zero broken
+/// chains, and corrupting a strict minority of a long chain must be
+/// repaired to the same logical value while being counted as broken.
+pub fn chain_break_repair(name: &str, qubo: &Qubo, seed: u64) -> Vec<Discrepancy> {
+    let n = qubo.num_vars();
+    if n == 0 || n > 12 {
+        return Vec::new();
+    }
+    let topo = Topology::chimera(3, 3, 4);
+    let Some(embedding) = find_embedding(&qubo.adjacency(), &topo, seed, 5) else {
+        return Vec::new(); // nothing to check on this instance
+    };
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+    let logical = nck_qubo::Ising::new(n);
+    let embedded = nck_anneal::embed_ising(&logical, &embedding, &topo, 1.0);
+    for _ in 0..16 {
+        let sample: Vec<bool> = (0..n).map(|_| rng.random()).collect();
+        let mut physical = vec![false; topo.num_qubits()];
+        for (v, &value) in sample.iter().enumerate() {
+            for &q in embedding.chain(v) {
+                physical[q] = value;
+            }
+        }
+        let (decoded, broken) = embedded.unembed(&physical);
+        if decoded != sample || broken != 0 {
+            out.push(Discrepancy::new(
+                name,
+                "chain-clean-roundtrip",
+                format!("clean sample {sample:?} decoded to {decoded:?} with {broken} broken"),
+            ));
+            return out;
+        }
+        // Corrupt a strict minority of the longest chain.
+        let Some((v, chain)) = (0..n)
+            .map(|v| (v, embedding.chain(v)))
+            .max_by_key(|(_, c)| c.len())
+            .filter(|(_, c)| c.len() >= 3)
+        else {
+            continue;
+        };
+        let flip = (chain.len() - 1) / 2;
+        for &q in &chain[..flip] {
+            physical[q] = !physical[q];
+        }
+        let (repaired, broken) = embedded.unembed(&physical);
+        if broken != 1 {
+            out.push(Discrepancy::new(
+                name,
+                "chain-break-count",
+                format!("one corrupted chain counted as {broken} broken"),
+            ));
+            return out;
+        }
+        if repaired != sample {
+            out.push(Discrepancy::new(
+                name,
+                "chain-minority-repair",
+                format!(
+                    "minority corruption of chain {v} changed the decoded value: \
+                     {sample:?} -> {repaired:?}"
+                ),
+            ));
+            return out;
+        }
+        for &q in &chain[..flip] {
+            physical[q] = !physical[q];
+        }
+    }
+    out
+}
+
+/// Convenience: compile with default options, or report the failure as
+/// a discrepancy (generated programs must always compile).
+pub fn compile_or_report(gp: &GeneratedProgram) -> Result<CompiledProgram, Discrepancy> {
+    compile(&gp.program, &CompilerOptions::default())
+        .map_err(|e| Discrepancy::new(&gp.name, "compile", format!("compilation failed: {e}")))
+}
+
+/// Pack the brute-force optima of `program` as a sorted bit-pattern
+/// set, if satisfiable.
+pub fn brute_optima_bits(program: &Program) -> Option<Vec<u64>> {
+    solve_brute(program).map(|b| b.optima)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment_to_bits;
+    use crate::gen::Family;
+
+    #[test]
+    fn permute_program_identity_is_noop() {
+        let gp = Family::VertexCover.generate(3);
+        let n = gp.program.num_vars();
+        let perm: Vec<usize> = (0..n).collect();
+        let same = permute_program(&gp.program, &perm);
+        assert_eq!(solve_brute(&gp.program), solve_brute(&same));
+    }
+
+    #[test]
+    fn effective_energy_matches_plain_energy_without_ancillas() {
+        let gp = Family::WeightedMaxCut.generate(1);
+        let compiled = compile_or_report(&gp).unwrap();
+        if compiled.num_ancillas == 0 {
+            let eff = effective_energies(&compiled);
+            for (bits, &e) in eff.iter().enumerate() {
+                assert_eq!(e, compiled.qubo.energy_bits(bits as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_bits_roundtrip() {
+        let a = vec![true, false, true, true];
+        assert_eq!(bits_to_assignment(assignment_to_bits(&a), 4), a);
+    }
+}

@@ -1,0 +1,84 @@
+//! # nck-verify
+//!
+//! Cross-backend differential and metamorphic verification for
+//! NchooseK: generate random constraint programs (hard + weighted-soft
+//! mixes over the paper's problem families), push every one through
+//! all four [`Backend`](nck_exec::Backend) implementations via an
+//! [`ExecutionPlan`](nck_exec::ExecutionPlan), and cross-check the
+//! results against the brute-force oracle and each other.
+//!
+//! The harness checks *relations* that must hold by construction, not
+//! golden outputs:
+//!
+//! * **QUBO ↔ Ising round-trip** — `Q → I → Q` preserves the energy of
+//!   every assignment ([`invariants::qubo_ising_roundtrip`]);
+//! * **gauge invariance** — spin-reversal transforms change the
+//!   Hamiltonian but not decoded sample energies
+//!   ([`invariants::gauge_invariance`]);
+//! * **variable-permutation symmetry** — relabeling variables permutes
+//!   the optima and nothing else ([`invariants::permutation_symmetry`]);
+//! * **hard-weight soundness** — under the compiler's
+//!   `W = 1 + Σ soft penalties` scaling, no hard-violating assignment
+//!   ever has lower effective energy than a hard-satisfying one
+//!   ([`invariants::hard_weight_soundness`]);
+//! * **chain-break repair** — majority-vote unembedding reproduces
+//!   clean logical samples and survives minority chain corruption
+//!   ([`invariants::chain_break_repair`]);
+//! * **cross-backend agreement** — every backend's report agrees with
+//!   the brute-force oracle on `max_soft`, never *beats* it, classifies
+//!   its own best assignment consistently, and tallies every candidate
+//!   ([`harness::run_differential`]).
+//!
+//! Any violated relation surfaces as a [`Discrepancy`]; the
+//! [`minimize`] module shrinks the offending program to a minimal
+//! reproduction for a regression test.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod harness;
+pub mod invariants;
+pub mod minimize;
+
+pub use gen::{corpus, Family, GeneratedProgram};
+pub use harness::{run_differential, HarnessConfig, HarnessOutcome};
+pub use minimize::minimize_program;
+
+use std::fmt;
+
+/// One violated invariant: which program, which check, and what was
+/// observed.
+#[derive(Clone, Debug)]
+pub struct Discrepancy {
+    /// Name of the generated program (family + generator seed).
+    pub program: String,
+    /// The invariant that failed.
+    pub check: &'static str,
+    /// Human-readable description of the observed violation.
+    pub detail: String,
+}
+
+impl Discrepancy {
+    /// Build a discrepancy record.
+    pub fn new(program: impl Into<String>, check: &'static str, detail: impl Into<String>) -> Self {
+        Discrepancy { program: program.into(), check, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for Discrepancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.program, self.check, self.detail)
+    }
+}
+
+/// Decode a packed bit pattern (bit `i` = variable `i`) into a boolean
+/// assignment of length `n`.
+pub fn bits_to_assignment(bits: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| bits >> i & 1 == 1).collect()
+}
+
+/// Pack a boolean assignment into a bit pattern (bit `i` = variable
+/// `i`).
+pub fn assignment_to_bits(assignment: &[bool]) -> u64 {
+    assignment.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b)) << i)
+}

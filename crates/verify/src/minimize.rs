@@ -1,0 +1,90 @@
+//! Shrink a discrepancy-triggering program to a minimal reproduction.
+//!
+//! Greedy delta debugging over the constraint list: repeatedly drop
+//! any constraint whose removal keeps the failure predicate true. The
+//! result is 1-minimal — removing any single remaining constraint
+//! makes the failure disappear — which is what a regression test wants
+//! to pin.
+
+use nck_core::Program;
+
+/// Rebuild `program` keeping only the constraints at the given indices
+/// (variables are all kept so indices stay stable).
+fn with_constraints(program: &Program, keep: &[usize]) -> Program {
+    let mut p = Program::new();
+    let vars = p.new_vars("x", program.num_vars()).expect("fresh names");
+    for &i in keep {
+        let c = &program.constraints()[i];
+        let collection: Vec<_> = c.collection().iter().map(|v| vars[v.index()]).collect();
+        let selection = c.selection().iter().copied();
+        if c.is_hard() {
+            p.nck(collection, selection).expect("kept hard constraint");
+        } else {
+            p.nck_soft_weighted(collection, selection, c.weight()).expect("kept soft constraint");
+        }
+    }
+    p
+}
+
+/// Minimize `program` against `fails`: returns the smallest
+/// constraint-subset program (1-minimal) on which `fails` still
+/// returns `true`. `fails(program)` must be `true` on entry.
+pub fn minimize_program(program: &Program, fails: impl Fn(&Program) -> bool) -> Program {
+    assert!(fails(program), "minimize_program needs a failing program to start from");
+    let mut keep: Vec<usize> = (0..program.constraints().len()).collect();
+    let mut shrunk = true;
+    while shrunk {
+        shrunk = false;
+        let mut i = 0;
+        while i < keep.len() {
+            let mut candidate = keep.clone();
+            candidate.remove(i);
+            let smaller = with_constraints(program, &candidate);
+            if fails(&smaller) {
+                keep = candidate;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    with_constraints(program, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_classical::solve_brute;
+
+    /// Plant an unsatisfiable pair among satisfiable noise; the
+    /// minimizer must strip the program down to exactly that pair.
+    #[test]
+    fn minimizes_to_the_unsat_core() {
+        let mut p = Program::new();
+        let vs = p.new_vars("x", 4).unwrap();
+        p.nck(vec![vs[0], vs[1]], [1]).unwrap();
+        p.nck(vec![vs[2]], [0]).unwrap(); // noise
+        p.nck(vec![vs[3]], [1]).unwrap(); // noise
+        p.nck(vec![vs[0], vs[1]], [0, 2]).unwrap(); // conflicts with the first
+        p.nck_soft(vec![vs[2], vs[3]], [2]).unwrap(); // noise
+        assert!(solve_brute(&p).is_none());
+
+        let min = minimize_program(&p, |q| solve_brute(q).is_none());
+        assert_eq!(min.constraints().len(), 2);
+        assert!(solve_brute(&min).is_none());
+        // 1-minimality: dropping either remaining constraint satisfies.
+        for i in 0..2 {
+            let keep: Vec<usize> = (0..2).filter(|&j| j != i).collect();
+            assert!(solve_brute(&with_constraints(&min, &keep)).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a failing program")]
+    fn rejects_a_passing_program() {
+        let mut p = Program::new();
+        let a = p.new_var("a").unwrap();
+        p.nck(vec![a], [1]).unwrap();
+        minimize_program(&p, |q| solve_brute(q).is_none());
+    }
+}

@@ -1,0 +1,52 @@
+//! The full differential sweep: ≥50 generated programs over all seven
+//! families, each through all four backends at two seeds, with every
+//! metamorphic invariant checked along the way.
+
+use nck_verify::{corpus, gen::ALL_FAMILIES, run_differential, HarnessConfig};
+
+#[test]
+fn differential_sweep_over_all_families_and_backends() {
+    let programs = corpus(8, 100);
+    assert!(programs.len() >= 50, "corpus too small: {}", programs.len());
+    assert!(ALL_FAMILIES.len() >= 5);
+
+    let outcome = run_differential(&programs, &[41, 97], &HarnessConfig::default());
+
+    assert_eq!(outcome.programs, programs.len());
+    // Classical + annealer (×2 for the determinism re-run) at minimum,
+    // per program per seed.
+    assert!(
+        outcome.runs >= programs.len() * 2 * 3,
+        "only {} backend runs across {} programs",
+        outcome.runs,
+        outcome.programs
+    );
+    assert!(
+        outcome.discrepancies.is_empty(),
+        "{} discrepancies:\n{}",
+        outcome.discrepancies.len(),
+        outcome.report()
+    );
+}
+
+#[test]
+fn satisfiability_mix_is_nontrivial() {
+    // The corpus must exercise both the satisfiable and the
+    // unsatisfiable paths, or the unsat-agreement checks test nothing.
+    let programs = corpus(8, 100);
+    let unsat = programs
+        .iter()
+        .filter(|g| nck_verify::invariants::brute_optima_bits(&g.program).is_none())
+        .count();
+    assert!(unsat > 0, "no unsatisfiable instance in the corpus");
+    assert!(unsat < programs.len(), "every instance is unsatisfiable");
+}
+
+#[test]
+fn soft_and_hard_only_programs_both_present() {
+    let programs = corpus(8, 100);
+    let soft = programs.iter().filter(|g| g.program.num_soft() > 0).count();
+    let hard_only = programs.len() - soft;
+    assert!(soft > 0, "no program with soft constraints");
+    assert!(hard_only > 0, "no hard-only program (Grover path untested)");
+}

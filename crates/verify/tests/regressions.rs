@@ -1,0 +1,101 @@
+//! Pinned reproductions of defects this PR fixes, plus negative
+//! controls proving the invariant checks can actually fail (a green
+//! differential sweep is only evidence if the checks have teeth).
+
+use nck_anneal::{sample_ising, NoiseModel, SaParams};
+use nck_compile::{compile, CompilerOptions};
+use nck_problems::{Graph, MapColoring};
+use nck_qubo::Ising;
+use nck_verify::gen::{Family, GeneratedProgram};
+use nck_verify::invariants::hard_weight_soundness;
+use nck_verify::{run_differential, HarnessConfig};
+
+const PHI: u64 = 0x9e3779b97f4a7c15;
+
+/// A ring whose near-zero-beta 1-sweep samples expose the underlying
+/// RNG stream: acceptance is essentially a coin flip per spin, so the
+/// sample is a direct function of the stream, not of the energy.
+fn ring(n: usize) -> Ising {
+    let mut ising = Ising::new(n);
+    for i in 0..n {
+        ising.add_coupling(i, (i + 1) % n, 1.0);
+    }
+    ising
+}
+
+fn stream_probe() -> SaParams {
+    SaParams { num_sweeps: 1, beta_min: 0.01, beta_max: 0.01 }
+}
+
+/// Regression for the weak per-read seed mixing (`seed ^ read·φ`):
+/// under the old scheme read `r` of the job seeded `s` used the same
+/// RNG stream as read `r − k` of the job seeded `s ^ k·φ`, so related
+/// jobs shared samples verbatim. The SplitMix64-finalized mixing must
+/// give every (seed, read) pair its own stream.
+#[test]
+fn per_read_streams_do_not_collide_across_related_seeds() {
+    let ising = ring(16);
+    let params = stream_probe();
+    let noise = NoiseModel::ideal();
+    // Old scheme: job_a[1] == job_b[0] exactly (both streams = 0 ^ φ).
+    let job_a = sample_ising(&ising, &params, &noise, 2, 0);
+    let job_b = sample_ising(&ising, &params, &noise, 1, PHI);
+    assert_ne!(job_a[1], job_b[0], "read streams collide across seeds 0 and φ");
+
+    // More broadly: a grid of φ-related seeds × reads must be pairwise
+    // distinct — the old scheme aliased entire diagonals of this grid.
+    let mut samples = Vec::new();
+    for k in 0..4u64 {
+        samples.extend(sample_ising(&ising, &params, &noise, 4, k.wrapping_mul(PHI)));
+    }
+    for i in 0..samples.len() {
+        for j in i + 1..samples.len() {
+            assert_ne!(samples[i], samples[j], "streams {i} and {j} collide");
+        }
+    }
+}
+
+/// Negative control: the hard-weight soundness check must *fail* when
+/// compilation is forced to use an unsound (too small) hard weight —
+/// otherwise the green differential sweep proves nothing about the
+/// `W = 1 + Σ soft penalties` scaling.
+#[test]
+fn soundness_check_detects_an_unsound_hard_weight() {
+    let gp = Family::VertexCover.generate(2);
+    let sound = compile(&gp.program, &CompilerOptions::default()).unwrap();
+    let brute = nck_classical::solve_brute(&gp.program);
+    assert!(
+        hard_weight_soundness(&gp, &sound, brute.as_ref()).is_empty(),
+        "sound compilation must pass"
+    );
+
+    let unsound = compile(
+        &gp.program,
+        &CompilerOptions { hard_weight: Some(0.25), ..CompilerOptions::default() },
+    )
+    .unwrap();
+    let found = hard_weight_soundness(&gp, &unsound, brute.as_ref());
+    assert!(
+        !found.is_empty(),
+        "a 0.25 hard weight cannot dominate the unit soft constraints, yet no \
+         discrepancy was reported"
+    );
+}
+
+/// Pin the corpus's designed unsatisfiable instance — an odd cycle with
+/// two colors — through the full harness: every backend must agree it
+/// is unsatisfiable, and the harness must report zero discrepancies.
+#[test]
+fn odd_cycle_two_coloring_is_unsatisfiable_on_every_backend() {
+    let program = MapColoring::new(Graph::cycle(3), 2).program();
+    assert!(nck_classical::solve_brute(&program).is_none(), "triangle is not 2-colorable");
+    let gp = GeneratedProgram {
+        name: "map-coloring#pinned-odd-cycle".into(),
+        family: Family::MapColoring,
+        seed: 0,
+        program,
+    };
+    let outcome = run_differential(std::slice::from_ref(&gp), &[41], &HarnessConfig::default());
+    assert!(outcome.runs >= 3, "expected classical, annealer, and gate runs");
+    assert!(outcome.discrepancies.is_empty(), "{}", outcome.report());
+}

@@ -1,0 +1,98 @@
+//! Type-check-only stub of the `criterion` 0.5 API surface used by the
+//! workspace's benches.
+
+use std::fmt::Display;
+use std::time::Duration;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+}
+
+pub struct BenchmarkGroup;
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher, input);
+        self
+    }
+    pub fn finish(self) {}
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    pub fn new(_group: impl Into<String>, _param: impl Display) -> Self {
+        BenchmarkId
+    }
+    pub fn from_parameter(_param: impl Display) -> Self {
+        BenchmarkId
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! Type-check-only stub of the `proptest` 1.x API surface used by this
+//! workspace. The `proptest!` macro expands each property to an
+//! `#[ignore]`d test whose strategy bindings come from a diverging
+//! helper, so bodies type-check but never run.
+
+use std::marker::PhantomData;
+
+pub trait Strategy: Sized {
+    type Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map(self, f)
+    }
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap(self, f)
+    }
+    fn prop_filter<M, F: Fn(&Self::Value) -> bool>(self, _whence: M, f: F) -> Filter<Self, F> {
+        Filter(self, f)
+    }
+}
+
+pub struct Map<S, F>(S, F);
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+}
+
+pub struct FlatMap<S, F>(S, F);
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+}
+
+pub struct Filter<S, F>(S, F);
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+}
+
+impl<T> Strategy for core::ops::Range<T> {
+    type Value = T;
+}
+impl<T> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+pub struct Any<T>(PhantomData<T>);
+impl<T> Strategy for Any<T> {
+    type Value = T;
+}
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    pub struct VecStrategy<S>(S);
+    impl<S: super::Strategy> super::Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+    pub fn vec<S: super::Strategy, Sz>(element: S, _size: Sz) -> VecStrategy<S> {
+        VecStrategy(element)
+    }
+
+    pub struct BTreeSetStrategy<S>(S);
+    impl<S: super::Strategy> super::Strategy for BTreeSetStrategy<S> {
+        type Value = std::collections::BTreeSet<S::Value>;
+    }
+    pub fn btree_set<S: super::Strategy, Sz>(element: S, _size: Sz) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy(element)
+    }
+}
+
+#[derive(Debug)]
+pub struct TestCaseError;
+
+pub struct ProptestConfig;
+impl ProptestConfig {
+    pub fn with_cases(_cases: u32) -> Self {
+        ProptestConfig
+    }
+}
+
+/// Produces a value of the strategy's output type; never actually runs
+/// (the generated tests are `#[ignore]`d).
+pub fn stub_value<S: Strategy>(_s: &S) -> S::Value {
+    unimplemented!()
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        #[allow(dead_code)]
+        fn __proptest_config_typechecks() {
+            let _: $crate::ProptestConfig = $cfg;
+        }
+        $crate::proptest! { $($rest)* }
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            #[ignore = "proptest stub: type-check only"]
+            #[allow(unreachable_code, unused_variables)]
+            fn $name() {
+                $(let $pat = $crate::stub_value(&$strat);)*
+                let body = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                body().unwrap();
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}

@@ -1,0 +1,156 @@
+//! Functional offline stand-in for the `rand` 0.9 API surface used by
+//! this workspace: a seeded xorshift64* generator. Distribution values
+//! differ from real `rand`, but everything is deterministic per seed
+//! and statistically serviceable, so the full app can run offline.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub struct StandardUniform;
+pub trait Distribution<T> {
+    fn gen(next: u64) -> T;
+}
+impl Distribution<bool> for StandardUniform {
+    fn gen(next: u64) -> bool {
+        next & 1 == 1
+    }
+}
+impl Distribution<f64> for StandardUniform {
+    fn gen(next: u64) -> f64 {
+        (next >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Distribution<f32> for StandardUniform {
+    fn gen(next: u64) -> f32 {
+        (next >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+impl Distribution<u64> for StandardUniform {
+    fn gen(next: u64) -> u64 {
+        next
+    }
+}
+impl Distribution<u32> for StandardUniform {
+    fn gen(next: u64) -> u32 {
+        (next >> 32) as u32
+    }
+}
+impl Distribution<usize> for StandardUniform {
+    fn gen(next: u64) -> usize {
+        next as usize
+    }
+}
+
+/// Element types samplable from a range; the blanket `SampleRange`
+/// impls below tie the range's element type to `T` for inference,
+/// matching real `rand`'s coherence shape.
+pub trait SampleUniform: Copy + Sized {
+    fn sample_span(lo: Self, hi: Self, inclusive: bool, next: u64) -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_span(lo: Self, hi: Self, inclusive: bool, next: u64) -> Self {
+                let span = (hi.wrapping_sub(lo) as u64).wrapping_add(u64::from(inclusive));
+                assert!(span != 0 || inclusive, "empty range");
+                if span == 0 {
+                    return next as $t; // inclusive full-width range
+                }
+                lo.wrapping_add((next % span) as $t)
+            }
+        }
+    )+};
+}
+int_uniform!(usize, u8, u32, u64, i32, i64);
+
+macro_rules! float_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_span(lo: Self, hi: Self, _inclusive: bool, next: u64) -> Self {
+                let unit = (next >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + (unit as $t) * (hi - lo)
+            }
+        }
+    )+};
+}
+float_uniform!(f32, f64);
+
+pub trait SampleRange<T> {
+    fn sample(self, next: u64) -> T;
+}
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, next: u64) -> T {
+        T::sample_span(self.start, self.end, false, next)
+    }
+}
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, next: u64) -> T {
+        T::sample_span(*self.start(), *self.end(), true, next)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        let n = self.next_u64();
+        <StandardUniform as Distribution<T>>::gen(n)
+    }
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let n = self.next_u64();
+        range.sample(n)
+    }
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    /// xorshift64* seeded through one splitmix64 round.
+    pub struct StdRng {
+        s: u64,
+    }
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut z = state.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            StdRng { s: (z ^ (z >> 31)) | 1 }
+        }
+    }
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.s ^= self.s >> 12;
+            self.s ^= self.s << 25;
+            self.s ^= self.s >> 27;
+            self.s.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+pub mod seq {
+    pub trait SliceRandom {
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: crate::Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}

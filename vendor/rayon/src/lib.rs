@@ -1,0 +1,68 @@
+//! Sequential stand-in for the `rayon` 1.10 API surface used by this
+//! workspace: same adapters, single-threaded execution.
+
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    pub fn map<O, F: Fn(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+    pub fn filter_map<O, F: Fn(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+    pub fn for_each<F: Fn(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+    pub fn reduce<ID, OP>(mut self, id: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        let first = self.0.next().unwrap_or_else(&id);
+        self.0.fold(first, op)
+    }
+}
+
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
