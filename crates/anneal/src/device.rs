@@ -8,9 +8,10 @@
 use crate::chain::{embed_ising, suggested_chain_strength, EmbeddedIsing};
 use crate::embed::{find_embedding, Embedding};
 use crate::gauge::Gauge;
-use crate::sampler::{sample_ising_clustered, NoiseModel, SaParams};
+use crate::sampler::{sample_ising_clustered_cancellable, NoiseModel, SaParams};
 use crate::timing::TimingModel;
 use crate::topology::Topology;
+use nck_cancel::CancelToken;
 use nck_qubo::Qubo;
 use std::fmt;
 use std::time::Duration;
@@ -190,6 +191,27 @@ impl AnnealerDevice {
         num_reads: usize,
         seed: u64,
     ) -> Result<AnnealResult, AnnealError> {
+        self.sample_qubo_embedded_cancellable(
+            qubo,
+            embedding,
+            num_reads,
+            seed,
+            &CancelToken::never(),
+        )
+    }
+
+    /// [`sample_qubo_embedded`](Self::sample_qubo_embedded) under
+    /// cooperative cancellation: the anneal sweep loops poll `cancel`,
+    /// so a fired deadline returns the reads completed so far (possibly
+    /// none) instead of running the job to the end.
+    pub fn sample_qubo_embedded_cancellable(
+        &self,
+        qubo: &Qubo,
+        embedding: &Embedding,
+        num_reads: usize,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<AnnealResult, AnnealError> {
         // Autoscale to the device range [−1, 1] (argmin-preserving).
         let mut scaled = qubo.clone();
         let m = scaled.max_abs_coeff();
@@ -206,7 +228,7 @@ impl AnnealerDevice {
         let n_phys = self.topology.num_qubits();
         for gi in 0..gauges {
             let reads_here = num_reads / gauges + usize::from(gi < num_reads % gauges);
-            if reads_here == 0 {
+            if reads_here == 0 || cancel.is_cancelled() {
                 continue;
             }
             let gauge = if gi == 0 {
@@ -215,13 +237,14 @@ impl AnnealerDevice {
                 Gauge::random(n_phys, seed ^ (gi as u64).wrapping_mul(0xd1b54a32d192ed03))
             };
             let physical = gauge.apply(&embedded.physical);
-            let reads = sample_ising_clustered(
+            let reads = sample_ising_clustered_cancellable(
                 &physical,
                 &self.sa,
                 &self.noise,
                 reads_here,
                 seed ^ gi as u64,
                 embedding.chains(),
+                cancel,
             );
             for r in &reads {
                 let ungauged = gauge.decode(r);

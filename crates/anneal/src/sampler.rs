@@ -6,6 +6,7 @@
 //! plus readout flips. Reads are independent, so they fan out across
 //! rayon workers.
 
+use nck_cancel::CancelToken;
 use nck_qubo::Ising;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,6 +137,34 @@ pub fn sample_ising_clustered(
     seed: u64,
     clusters: &[Vec<usize>],
 ) -> Vec<Vec<bool>> {
+    sample_ising_clustered_cancellable(
+        ising,
+        params,
+        noise,
+        num_reads,
+        seed,
+        clusters,
+        &CancelToken::never(),
+    )
+}
+
+/// [`sample_ising_clustered`] under cooperative cancellation: the
+/// sweep loop polls `cancel` once per sweep. Reads not yet started
+/// when the token fires are dropped entirely; reads in flight stop
+/// annealing and read out their current (partially annealed) spins, so
+/// a deadline yields whatever the job completed rather than nothing.
+/// With a never-firing token this is byte-identical to the plain
+/// sampler.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_ising_clustered_cancellable(
+    ising: &Ising,
+    params: &SaParams,
+    noise: &NoiseModel,
+    num_reads: usize,
+    seed: u64,
+    clusters: &[Vec<usize>],
+    cancel: &CancelToken,
+) -> Vec<Vec<bool>> {
     let compact = compact_view(ising);
     let n = compact.qubits.len();
     // Map cluster qubit ids into compact indices, dropping inactive
@@ -163,7 +192,12 @@ pub fn sample_ising_clustered(
         .collect();
     (0..num_reads)
         .into_par_iter()
-        .map(|read| {
+        .filter_map(|read| {
+            // A read not yet started when the token fires is dropped;
+            // the job returns only what it completed.
+            if cancel.is_cancelled() {
+                return None;
+            }
             // Finalize the job seed before mixing in the read index:
             // combining the raw inputs linearly (the old
             // `seed ^ read·φ`) makes stream (seed, read) collide with
@@ -197,6 +231,11 @@ pub fn sample_ising_clustered(
                 (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect();
             let mut in_cluster = vec![false; n];
             for &beta in &betas {
+                // Cooperative cancellation poll, once per sweep: a read
+                // in flight stops annealing and reads out as-is.
+                if cancel.is_cancelled() {
+                    break;
+                }
                 for i in 0..n {
                     // ΔE of flipping spin i: −2·s_i·(h_i + Σ J_ij s_j)
                     let mut local = h[i];
@@ -245,7 +284,7 @@ pub fn sample_ising_clustered(
                 }
                 out[q] = v;
             }
-            out
+            Some(out)
         })
         .collect()
 }
@@ -344,5 +383,38 @@ mod tests {
         let best =
             |ss: &[Vec<bool>]| ss.iter().map(|s| ising.energy(s)).fold(f64::INFINITY, f64::min);
         assert!(best(&good) < best(&bad), "longer anneal should find lower energy");
+    }
+
+    #[test]
+    fn never_token_matches_plain_sampler() {
+        let ising = fm_chain(8);
+        let plain = sample_ising(&ising, &SaParams::default(), &NoiseModel::dwave_default(), 5, 3);
+        let cancellable = sample_ising_clustered_cancellable(
+            &ising,
+            &SaParams::default(),
+            &NoiseModel::dwave_default(),
+            5,
+            3,
+            &[],
+            &CancelToken::never(),
+        );
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn fired_token_drops_unstarted_reads() {
+        let ising = fm_chain(8);
+        let token = CancelToken::never();
+        token.cancel();
+        let samples = sample_ising_clustered_cancellable(
+            &ising,
+            &SaParams::default(),
+            &NoiseModel::ideal(),
+            10,
+            3,
+            &[],
+            &token,
+        );
+        assert!(samples.is_empty(), "no read should start after cancellation");
     }
 }

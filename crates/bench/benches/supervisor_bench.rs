@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the resilience supervisor's fault-free
+//! overhead: a supervised single-rung run versus the plain
+//! `ExecutionPlan::run`, on both the annealer and classical paths.
+//!
+//! The acceptance bar is ≤ 2 % overhead — the supervisor adds one
+//! breaker admission, one `RunCtx` allocation, and a handful of
+//! journal pushes per run, all of which must vanish next to the
+//! backend's own work. The vendored criterion crate is a
+//! type-check-only stub, so this bench smoke-runs the arms; the real
+//! wall-clock measurement is `cargo run --release -p nck-bench --bin
+//! overhead`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nck_anneal::AnnealerDevice;
+use nck_exec::{AnnealerBackend, Backend, ClassicalBackend, ExecutionPlan, Supervisor};
+use nck_problems::{Graph, MinVertexCover};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10)
+}
+
+fn bench_supervised_vs_plain(c: &mut Criterion) {
+    let program = MinVertexCover::new(Graph::circulant(12, 4)).program();
+    let plan = ExecutionPlan::new(&program);
+    let annealer = AnnealerBackend::new(AnnealerDevice::ideal(64), 64);
+    let classical = ClassicalBackend::default();
+    let sup = Supervisor::default();
+    // Warm the compile and oracle caches so both arms measure only the
+    // backend run.
+    plan.run(&classical, 0).unwrap();
+
+    let mut g = c.benchmark_group("supervisor_overhead");
+    g.bench_function("annealer_plain", |b| b.iter(|| plan.run(black_box(&annealer), 7).unwrap()));
+    g.bench_function("annealer_supervised", |b| {
+        b.iter(|| sup.run(&plan, &[black_box(&annealer) as &dyn Backend], 7).unwrap())
+    });
+    g.bench_function("classical_plain", |b| b.iter(|| plan.run(black_box(&classical), 7).unwrap()));
+    g.bench_function("classical_supervised", |b| {
+        b.iter(|| sup.run(&plan, &[black_box(&classical) as &dyn Backend], 7).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_supervised_vs_plain
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! # nck-cancel
+//!
+//! A cooperative cancellation token shared by every solver hot loop.
+//!
+//! Real substrates fail by *time*: a D-Wave job queue backs up, a QAOA
+//! classical optimizer stalls, a branch-and-bound search explodes. The
+//! execution supervisor (`nck-exec`) turns a wall-clock deadline into a
+//! [`CancelToken`] that the annealer sweep loop, the QAOA optimizer
+//! iterations, the Grover guess loop, and the classical search all
+//! poll — so a run under budget pressure winds down cooperatively with
+//! whatever partial results it has, instead of being abandoned
+//! mid-flight or running forever.
+//!
+//! The token is deliberately dependency-free and lives below every
+//! substrate crate (`nck-anneal`, `nck-circuit`, `nck-classical`), so
+//! each can poll it without depending on the execution layer.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cheap, cloneable cancellation token: an explicit cancel flag plus
+/// an optional wall-clock deadline. Clones share state.
+///
+/// Polling ([`is_cancelled`](CancelToken::is_cancelled)) costs one
+/// atomic load plus, when a deadline is set, one monotonic clock read —
+/// cheap enough for per-sweep / per-node loops.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (no deadline). Equivalent to
+    /// `CancelToken::default()`.
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that fires once `deadline` has elapsed from now.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + deadline),
+            }),
+        }
+    }
+
+    /// Cancel explicitly. Every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token been cancelled (explicitly, or by its deadline)?
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Wall-clock time left before the deadline. `None` when no
+    /// deadline is set; `Some(ZERO)` once it has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Sleep for `duration`, waking early if cancelled. Sleeps in short
+    /// slices so a deadline or explicit cancel is honored within a few
+    /// milliseconds. Returns `true` if the full duration elapsed,
+    /// `false` if cancellation cut it short.
+    pub fn sleep(&self, duration: Duration) -> bool {
+        const SLICE: Duration = Duration::from_millis(2);
+        let until = Instant::now() + duration;
+        loop {
+            if self.is_cancelled() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= until {
+                return true;
+            }
+            std::thread::sleep((until - now).min(SLICE));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_is_never_cancelled() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::never();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn sleep_completes_when_uncancelled() {
+        let t = CancelToken::never();
+        assert!(t.sleep(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn sleep_cut_short_by_cancellation() {
+        let t = CancelToken::with_deadline(Duration::from_millis(10));
+        let start = Instant::now();
+        assert!(!t.sleep(Duration::from_secs(10)));
+        assert!(start.elapsed() < Duration::from_secs(2), "sleep must wake near the deadline");
+    }
+}

@@ -27,6 +27,22 @@ pub fn nelder_mead(
     max_iter: usize,
     tol: f64,
 ) -> OptimResult {
+    nelder_mead_with_stop(f, x0, step, max_iter, tol, &|| false)
+}
+
+/// [`nelder_mead`] with a cooperative stop callback, polled once per
+/// reflection cycle: when `stop` returns true the optimizer returns the
+/// best simplex vertex found so far (best-so-far parameters, not a
+/// failure). The initial simplex is always built, so the result is
+/// usable even when `stop` is already true on entry.
+pub fn nelder_mead_with_stop(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    step: f64,
+    max_iter: usize,
+    tol: f64,
+    stop: &dyn Fn() -> bool,
+) -> OptimResult {
     let n = x0.len();
     assert!(n >= 1, "need at least one parameter");
     let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
@@ -47,6 +63,9 @@ pub fn nelder_mead(
     }
     let mut iterations = 0usize;
     for _ in 0..max_iter {
+        if stop() {
+            break;
+        }
         iterations += 1;
         simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         let spread = simplex[n].1 - simplex[0].1;
@@ -141,5 +160,26 @@ mod tests {
         let mut f = |_: &[f64]| 1.0; // flat objective
         let r = nelder_mead(&mut f, &[0.0, 0.0], 1.0, 1000, 1e-9);
         assert!(r.iterations <= 2, "flat function should converge immediately");
+    }
+
+    #[test]
+    fn stop_callback_returns_best_so_far() {
+        use std::cell::Cell;
+        let mut f = |x: &[f64]| (x[0] - 3.0).powi(2);
+        let budget = Cell::new(5usize);
+        let stop = || {
+            if budget.get() == 0 {
+                true
+            } else {
+                budget.set(budget.get() - 1);
+                false
+            }
+        };
+        let r = nelder_mead_with_stop(&mut f, &[0.0], 0.5, 1000, 0.0, &stop);
+        assert!(r.iterations <= 5, "stopped run did {} iterations", r.iterations);
+        // Stopped immediately: still returns a usable vertex.
+        let r0 = nelder_mead_with_stop(&mut f, &[0.0], 0.5, 1000, 0.0, &|| true);
+        assert_eq!(r0.iterations, 0);
+        assert!(r0.fx.is_finite());
     }
 }

@@ -14,9 +14,10 @@ use crate::analytic::qaoa1_expectation;
 use crate::coupling::CouplingMap;
 use crate::gates::{Circuit, Gate};
 use crate::noise::CircuitNoise;
-use crate::optim::nelder_mead;
+use crate::optim::nelder_mead_with_stop;
 use crate::state::StateVector;
 use crate::transpile::{transpile, Transpiled};
+use nck_cancel::CancelToken;
 use nck_qubo::{Ising, Qubo};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -201,6 +202,23 @@ impl GateModelDevice {
         max_iter: usize,
         seed: u64,
     ) -> Result<QaoaRun, QaoaError> {
+        self.run_qaoa_cancellable(qubo, layers, shots, max_iter, seed, &CancelToken::never())
+    }
+
+    /// [`run_qaoa`](Self::run_qaoa) under cooperative cancellation: the
+    /// optimizer polls `cancel` between reflection cycles and, when it
+    /// fires, the final sampling job runs with the best-so-far
+    /// parameters — a deadline degrades parameter quality rather than
+    /// discarding the run.
+    pub fn run_qaoa_cancellable(
+        &self,
+        qubo: &Qubo,
+        layers: usize,
+        shots: usize,
+        max_iter: usize,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<QaoaRun, QaoaError> {
         assert!(layers >= 1, "need at least one QAOA layer");
         let n = qubo.num_vars();
         if n > self.coupling.num_qubits() {
@@ -244,7 +262,9 @@ impl GateModelDevice {
         let mut x0 = Vec::with_capacity(2 * layers);
         x0.extend((0..layers).map(|l| 0.4 + 0.05 * l as f64)); // betas
         x0.extend((0..layers).map(|l| -0.4 - 0.05 * l as f64)); // gammas
-        let opt = nelder_mead(&mut evaluate, &x0, 0.3, max_iter, 1e-7);
+        let opt = nelder_mead_with_stop(&mut evaluate, &x0, 0.3, max_iter, 1e-7, &|| {
+            cancel.is_cancelled()
+        });
         let (betas, gammas) = opt.x.split_at(layers);
         // Final sampling job.
         let mut rng = StdRng::seed_from_u64(seed);

@@ -27,5 +27,7 @@ pub mod tabu;
 pub use brute::{solve_brute, BruteResult};
 pub use classify::OptimalityOracle;
 pub use qubo_bb::{minimize, QuboBbOptions, QuboBbResult, QuboBbStats};
-pub use solver::{max_soft_satisfiable, solve, SolveOutcome, SolveStats, SolverOptions};
+pub use solver::{
+    max_soft_satisfiable, solve, solve_cancellable, SolveOutcome, SolveStats, SolverOptions,
+};
 pub use tabu::{tabu_search, TabuOptions, TabuResult};

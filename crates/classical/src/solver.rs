@@ -9,8 +9,14 @@
 //! forced values through hard cardinality constraints, and
 //! branch-and-bound on the number of violated soft constraints.
 
+use nck_cancel::CancelToken;
 use nck_core::{Constraint, Program};
 use std::time::{Duration, Instant};
+
+/// How many decision nodes pass between cooperative cancellation
+/// polls. Polling costs an atomic load plus (with a deadline) an
+/// `Instant::now()`, so it is amortized over a block of nodes.
+const CANCEL_POLL_NODES: u64 = 64;
 
 /// Solver options.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +85,9 @@ struct Ctx<'a> {
     by_var: Vec<Vec<(usize, u32)>>,
     /// Static branching order (most-constrained variables first).
     order: Vec<usize>,
+    /// Cooperative cancellation token, polled every
+    /// [`CANCEL_POLL_NODES`] decision nodes.
+    cancel: &'a CancelToken,
     /// Per var: total weight of singleton soft constraints violated by
     /// TRUE (the minimization pattern `nck({v},{0},soft)`); fuels the
     /// matching lower bound. Zero when the var has none.
@@ -110,6 +119,19 @@ struct TrailEntry {
 
 /// Solve `program` exactly.
 pub fn solve(program: &Program, opts: &SolverOptions) -> (SolveOutcome, SolveStats) {
+    solve_cancellable(program, opts, &CancelToken::never())
+}
+
+/// [`solve`] under cooperative cancellation: the search polls `cancel`
+/// every [`CANCEL_POLL_NODES`] decision nodes and, when it fires, stops
+/// with `stats.truncated = true` and the best incumbent found so far —
+/// the same semantics as hitting the node limit. A truncated search
+/// never proves unsatisfiability.
+pub fn solve_cancellable(
+    program: &Program,
+    opts: &SolverOptions,
+    cancel: &CancelToken,
+) -> (SolveOutcome, SolveStats) {
     let start = Instant::now();
     let n = program.num_vars();
     let constraints = program.constraints();
@@ -144,6 +166,7 @@ pub fn solve(program: &Program, opts: &SolverOptions) -> (SolveOutcome, SolveSta
         by_var,
         order,
         prefer_false,
+        cancel,
         opts: *opts,
     };
     let mut state = State {
@@ -367,7 +390,9 @@ fn matching_bound(ctx: &Ctx<'_>, state: &State, used: &mut [bool]) -> u64 {
 
 fn search(ctx: &Ctx<'_>, state: &mut State) {
     state.stats.nodes += 1;
-    if state.stats.nodes > ctx.opts.node_limit {
+    if state.stats.nodes > ctx.opts.node_limit
+        || (state.stats.nodes.is_multiple_of(CANCEL_POLL_NODES) && ctx.cancel.is_cancelled())
+    {
         state.stats.truncated = true;
         return;
     }
@@ -525,6 +550,27 @@ mod tests {
         }
         assert_eq!(max_soft_satisfiable(&p), Some(1));
         assert_matches_brute(&p);
+    }
+
+    #[test]
+    fn cancelled_search_truncates_without_claiming_unsat() {
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 20).unwrap();
+        for i in 0..19 {
+            p.nck_soft(vec![vs[i], vs[i + 1]], [1]).unwrap();
+        }
+        let token = CancelToken::never();
+        token.cancel();
+        let (outcome, stats) = solve_cancellable(&p, &SolverOptions::default(), &token);
+        assert!(stats.truncated, "fired token must truncate the search");
+        // 19 soft ring constraints, no hard constraints: the program is
+        // trivially satisfiable, so any Unsatisfiable claim under
+        // truncation would be wrong. An incumbent may or may not exist
+        // (the poll is amortized), but a claim of unsat is only
+        // acceptable from an untruncated search.
+        if let SolveOutcome::Solved { assignment, .. } = outcome {
+            assert!(p.all_hard_satisfied(&assignment));
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! decode and classify stages.
 
 use crate::error::ExecError;
-use crate::stage::StageTimings;
+use crate::journal::RunCtx;
 use nck_compile::CompiledProgram;
 use nck_core::Program;
 use std::time::Duration;
@@ -97,8 +97,10 @@ pub enum BackendMetrics {
 
 /// A solver capable of executing a prepared NchooseK program.
 ///
-/// Implementations time their own stages into `stages` (`embed` and
-/// `sample`; `compile`, `decode`, and `classify` belong to the plan)
+/// Implementations time their own stages into `ctx.stages` (`embed`
+/// and `sample`; `compile`, `decode`, and `classify` belong to the
+/// plan), journal noteworthy events (suppressed errors, fallbacks)
+/// into `ctx.journal`, poll `ctx.cancel` inside long-running loops,
 /// and report failures as [`ExecError`] values, never panics.
 pub trait Backend {
     /// Short stable name ("annealer", "gate", "grover", "classical").
@@ -109,6 +111,6 @@ pub trait Backend {
         &self,
         prepared: &Prepared<'_>,
         seed: u64,
-        stages: &mut StageTimings,
+        ctx: &mut RunCtx,
     ) -> Result<(Candidates, BackendMetrics), ExecError>;
 }

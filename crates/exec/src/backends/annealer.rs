@@ -2,9 +2,9 @@
 //! embedding cache and a typed retry/fallback policy.
 
 use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
-use crate::error::ExecError;
+use crate::error::{ExecError, FaultKind};
 use crate::fault::FaultInjection;
-use crate::stage::StageTimings;
+use crate::journal::{JournalKind, RunCtx};
 use nck_anneal::{find_embedding, AnnealError, AnnealerDevice, Embedding, Topology};
 use nck_qubo::Qubo;
 use parking_lot::Mutex;
@@ -71,19 +71,17 @@ impl AnnealerBackend {
 
     /// Find (or reuse) an embedding for `qubo`, applying the retry and
     /// clique-fallback policy.
-    fn embed(
-        &self,
-        qubo: &Qubo,
-        seed: u64,
-        stages: &mut StageTimings,
-    ) -> Result<Embedding, ExecError> {
+    fn embed(&self, qubo: &Qubo, seed: u64, ctx: &mut RunCtx) -> Result<Embedding, ExecError> {
         let fp = Self::fingerprint(qubo);
         let mut cached = self.embedding_cache.lock();
         if let Some((cached_fp, e)) = &*cached {
             if *cached_fp == fp {
-                stages.embed_cache_hit = true;
+                ctx.stages.embed_cache_hit = true;
                 return Ok(e.clone());
             }
+        }
+        if ctx.cancel.is_cancelled() {
+            return Err(ExecError::Cancelled { backend: ctx.backend, stage: ctx.stage });
         }
         let adj = qubo.adjacency();
         let mut found = None;
@@ -92,7 +90,7 @@ impl AnnealerBackend {
             // heuristic embedder had failed, driving the rip-up retry
             // (and eventually the clique fallback) deterministically.
             if attempt < u64::from(self.faults.embed_failures) {
-                stages.embed_retries += 1;
+                ctx.stages.embed_retries += 1;
                 continue;
             }
             let rip_up_seed = seed ^ attempt.wrapping_mul(0x9e3779b97f4a7c15);
@@ -102,13 +100,21 @@ impl AnnealerBackend {
                 found = Some(e);
                 break;
             }
-            stages.embed_retries += 1;
+            ctx.stages.embed_retries += 1;
         }
         if found.is_none() {
             if let Some(m) = self.device.clique_fallback {
                 found = Topology::pegasus_like_clique_embedding(m, qubo.num_vars());
                 if found.is_some() {
-                    stages.fallbacks += 1;
+                    // The heuristic embedder failed every attempt; the
+                    // clique fallback rescued the run. Keep the
+                    // suppressed error's provenance in the journal.
+                    ctx.note_suppressed(ExecError::Anneal(AnnealError::EmbeddingFailed {
+                        logical_vars: qubo.num_vars(),
+                        device_qubits: self.device.topology.num_qubits(),
+                    }));
+                    ctx.note(JournalKind::FallbackTaken { what: "clique embedding" });
+                    ctx.stages.fallbacks += 1;
                 }
             }
         }
@@ -130,15 +136,43 @@ impl Backend for AnnealerBackend {
         &self,
         prepared: &Prepared<'_>,
         seed: u64,
-        stages: &mut StageTimings,
+        ctx: &mut RunCtx,
     ) -> Result<(Candidates, BackendMetrics), ExecError> {
         let qubo = &prepared.compiled.qubo;
+        ctx.enter_stage("embed");
         let t = Instant::now();
-        let embedding = self.embed(qubo, seed, stages)?;
-        stages.embed = t.elapsed();
+        let embedding = self.embed(qubo, seed, ctx)?;
+        ctx.stages.embed = t.elapsed();
+
+        ctx.enter_stage("sample");
+        self.faults.apply_sample_faults(ctx)?;
+        if ctx.attempt < self.faults.chain_break_storms {
+            // The job "ran" but every read came back storm-broken —
+            // unusable, and worth a retry with backoff.
+            return Err(ExecError::Transient {
+                backend: ctx.backend,
+                stage: ctx.stage,
+                kind: FaultKind::ChainBreakStorm,
+                attempt: ctx.attempt,
+            });
+        }
         let t = Instant::now();
-        let result = self.device.sample_qubo_embedded(qubo, &embedding, self.num_reads, seed)?;
-        stages.sample = t.elapsed();
+        let result = self.device.sample_qubo_embedded_cancellable(
+            qubo,
+            &embedding,
+            self.num_reads,
+            seed,
+            &ctx.cancel,
+        )?;
+        ctx.stages.sample = t.elapsed();
+        if ctx.cancel.is_cancelled() {
+            if result.samples.is_empty() {
+                // Cancelled before a single read completed: nothing to
+                // salvage.
+                return Err(ExecError::Cancelled { backend: ctx.backend, stage: ctx.stage });
+            }
+            ctx.note(JournalKind::PartialResult { candidates: result.samples.len() });
+        }
         let metrics = BackendMetrics::Annealer {
             physical_qubits: result.physical_qubits,
             max_chain_length: result.max_chain_length,

@@ -4,7 +4,7 @@
 use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
 use crate::error::ExecError;
 use crate::fault::FaultInjection;
-use crate::stage::StageTimings;
+use crate::journal::{JournalKind, RunCtx};
 use nck_circuit::{GateModelDevice, QaoaError};
 use std::time::Instant;
 
@@ -67,12 +67,14 @@ impl Backend for GateModelBackend {
         &self,
         prepared: &Prepared<'_>,
         seed: u64,
-        stages: &mut StageTimings,
+        ctx: &mut RunCtx,
     ) -> Result<(Candidates, BackendMetrics), ExecError> {
         let n = prepared.compiled.num_qubo_vars();
+        ctx.enter_stage("sample");
         if n > PACKED_SAMPLER_LIMIT && n > self.device.sim_limit {
             return Err(ExecError::TooLarge { vars: n, limit: PACKED_SAMPLER_LIMIT });
         }
+        self.faults.apply_sample_faults(ctx)?;
         let qubo = &prepared.compiled.qubo;
         let t = Instant::now();
         // Injected fault: report the first attempt as a state-vector
@@ -80,19 +82,40 @@ impl Backend for GateModelBackend {
         let first = if self.faults.qaoa_overflow {
             Err(QaoaError::TooLargeToSimulate { needed: n, sim_limit: 0 })
         } else {
-            self.device.run_qaoa(qubo, self.layers, self.shots, self.max_iter, seed)
+            self.device.run_qaoa_cancellable(
+                qubo,
+                self.layers,
+                self.shots,
+                self.max_iter,
+                seed,
+                &ctx.cancel,
+            )
         };
         let run = match first {
             Ok(r) => r,
-            Err(QaoaError::TooLargeToSimulate { .. })
+            Err(e @ QaoaError::TooLargeToSimulate { .. })
                 if self.analytic_fallback && self.layers > 1 =>
             {
-                stages.fallbacks += 1;
-                self.device.run_qaoa(qubo, 1, self.shots, self.max_iter, seed)?
+                ctx.note_suppressed(e.into());
+                ctx.note(JournalKind::FallbackTaken { what: "analytic p=1 QAOA" });
+                ctx.stages.fallbacks += 1;
+                self.device.run_qaoa_cancellable(
+                    qubo,
+                    1,
+                    self.shots,
+                    self.max_iter,
+                    seed,
+                    &ctx.cancel,
+                )?
             }
             Err(e) => return Err(e.into()),
         };
-        stages.sample = t.elapsed();
+        ctx.stages.sample = t.elapsed();
+        if ctx.cancel.is_cancelled() {
+            // The optimizer stopped early; the final sampling job ran
+            // with best-so-far parameters. Still a usable result.
+            ctx.note(JournalKind::PartialResult { candidates: 1 });
+        }
         let metrics = BackendMetrics::GateModel {
             qubits_used: run.qubits_used,
             depth: run.depth,

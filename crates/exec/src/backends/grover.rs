@@ -9,7 +9,8 @@
 
 use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
 use crate::error::ExecError;
-use crate::stage::StageTimings;
+use crate::fault::FaultInjection;
+use crate::journal::RunCtx;
 use nck_circuit::grover_search;
 use std::time::Instant;
 
@@ -28,11 +29,22 @@ pub struct GroverBackend {
     pub max_vars: usize,
     /// Maximum BBHT iteration guesses before reporting unsatisfiable.
     pub max_guesses: u64,
+    /// Deterministic fault injection for exercising the supervisor's
+    /// retry policy in tests.
+    pub faults: FaultInjection,
 }
 
 impl Default for GroverBackend {
     fn default() -> Self {
-        GroverBackend { max_vars: 20, max_guesses: 64 }
+        GroverBackend { max_vars: 20, max_guesses: 64, faults: FaultInjection::default() }
+    }
+}
+
+impl GroverBackend {
+    /// The same backend with deterministic fault injection enabled.
+    pub fn with_faults(mut self, faults: FaultInjection) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -45,9 +57,10 @@ impl Backend for GroverBackend {
         &self,
         prepared: &Prepared<'_>,
         seed: u64,
-        stages: &mut StageTimings,
+        ctx: &mut RunCtx,
     ) -> Result<(Candidates, BackendMetrics), ExecError> {
         let program = prepared.program;
+        ctx.enter_stage("sample");
         if program.num_soft() > 0 {
             return Err(ExecError::SoftUnsupported { num_soft: program.num_soft() });
         }
@@ -55,6 +68,7 @@ impl Backend for GroverBackend {
         if n > self.max_vars {
             return Err(ExecError::TooLarge { vars: n, limit: self.max_vars });
         }
+        self.faults.apply_sample_faults(ctx)?;
         let predicate = |bits: u64| {
             let x: Vec<bool> = (0..n).map(|q| bits >> q & 1 == 1).collect();
             program.all_hard_satisfied(&x)
@@ -68,6 +82,13 @@ impl Backend for GroverBackend {
         let mut total_iterations = 0usize;
         let mut success_probability = 0.0;
         for j in 0..self.max_guesses {
+            // A measured-but-unsatisfying guess carries no partial
+            // information worth salvaging, so cancellation simply stops
+            // the schedule.
+            if ctx.cancel.is_cancelled() {
+                ctx.stages.sample = t.elapsed();
+                return Err(ExecError::Cancelled { backend: ctx.backend, stage: ctx.stage });
+            }
             let iters = m.ceil() as usize;
             let r = grover_search(n, predicate, iters, seed ^ j);
             measurements += 1;
@@ -79,7 +100,7 @@ impl Backend for GroverBackend {
             }
             m = (m * BBHT_GROWTH).min((1u64 << n) as f64);
         }
-        stages.sample = t.elapsed();
+        ctx.stages.sample = t.elapsed();
         let assignment = found.ok_or(ExecError::Unsatisfiable)?;
         let metrics =
             BackendMetrics::Grover { measurements, total_iterations, success_probability };

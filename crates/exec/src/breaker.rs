@@ -1,0 +1,276 @@
+//! Per-backend [`CircuitBreaker`]: stop burning budget on a rung that
+//! keeps failing.
+//!
+//! Classic closed → open → half-open state machine over a sliding
+//! failure-rate window. Closed admits every call and records outcomes;
+//! once the window holds at least `min_calls` outcomes with a failure
+//! rate at or above the threshold, the breaker opens. Open rejects
+//! calls without invoking the backend until `cooldown` has elapsed,
+//! then admits a single half-open probe: success closes the breaker
+//! (window cleared), failure re-opens it and restarts the cooldown.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window length (outcomes remembered).
+    pub window: usize,
+    /// Failure rate in `[0, 1]` at which the breaker opens.
+    pub failure_rate: f64,
+    /// Minimum outcomes in the window before the rate is evaluated
+    /// (prevents one early failure from opening a fresh breaker).
+    pub min_calls: usize,
+    /// How long an open breaker rejects calls before admitting a
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            failure_rate: 0.5,
+            min_calls: 3,
+            cooldown: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all calls admitted, outcomes recorded.
+    Closed,
+    /// Tripped: calls rejected without invoking the backend.
+    Open,
+    /// Cooled down: one probe call admitted to test recovery.
+    HalfOpen,
+}
+
+/// The outcome of asking the breaker to admit a call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Call admitted normally (breaker closed).
+    Admitted,
+    /// Call admitted as a half-open probe after the cooldown.
+    Probe,
+    /// Call rejected: the breaker is open and still cooling down.
+    Rejected,
+}
+
+/// A per-backend circuit breaker.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    outcomes: VecDeque<bool>,
+    opened_at: Option<Instant>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            outcomes: VecDeque::new(),
+            opened_at: None,
+        }
+    }
+
+    /// Current state, with the open → half-open transition applied if
+    /// the cooldown has elapsed.
+    pub fn state(&mut self) -> BreakerState {
+        self.maybe_half_open();
+        self.state
+    }
+
+    fn maybe_half_open(&mut self) {
+        if self.state == BreakerState::Open {
+            let cooled =
+                self.opened_at.map(|t| t.elapsed() >= self.config.cooldown).unwrap_or(true);
+            if cooled {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// Ask to admit one call. Open breakers reject; half-open admits a
+    /// probe (a concurrent second ask while the probe is outstanding
+    /// is also rejected — the supervisor is single-threaded per run,
+    /// so in practice exactly one probe flies).
+    pub fn admit(&mut self) -> Admission {
+        self.maybe_half_open();
+        match self.state {
+            BreakerState::Closed => Admission::Admitted,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => Admission::Rejected,
+        }
+    }
+
+    /// Record a successful call. A half-open probe success closes the
+    /// breaker and clears the window.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.outcomes.clear();
+                self.opened_at = None;
+            }
+            _ => self.push(true),
+        }
+    }
+
+    /// Record a failed call. Returns `true` if this failure *opened*
+    /// the breaker (closed → open trip, or half-open probe failure).
+    pub fn record_failure(&mut self) -> bool {
+        match self.state {
+            BreakerState::HalfOpen | BreakerState::Open => {
+                // Probe failed (or a straggler failure landed while
+                // open): (re-)open and restart the cooldown.
+                let was_open = self.state == BreakerState::Open;
+                self.state = BreakerState::Open;
+                self.opened_at = Some(Instant::now());
+                !was_open
+            }
+            BreakerState::Closed => {
+                self.push(false);
+                if self.should_open() {
+                    self.state = BreakerState::Open;
+                    self.opened_at = Some(Instant::now());
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, ok: bool) {
+        if self.outcomes.len() == self.config.window.max(1) {
+            self.outcomes.pop_front();
+        }
+        self.outcomes.push_back(ok);
+    }
+
+    fn should_open(&self) -> bool {
+        if self.outcomes.len() < self.config.min_calls.max(1) {
+            return false;
+        }
+        let failures = self.outcomes.iter().filter(|&&ok| !ok).count();
+        failures as f64 / self.outcomes.len() as f64 >= self.config.failure_rate
+    }
+
+    /// Failure rate over the current window (0.0 when empty).
+    pub fn failure_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|&&ok| !ok).count() as f64 / self.outcomes.len() as f64
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant_cooldown() -> BreakerConfig {
+        BreakerConfig { cooldown: Duration::ZERO, ..BreakerConfig::default() }
+    }
+
+    fn long_cooldown() -> BreakerConfig {
+        BreakerConfig { cooldown: Duration::from_secs(3600), ..BreakerConfig::default() }
+    }
+
+    #[test]
+    fn closed_until_failure_rate_threshold() {
+        let mut b = CircuitBreaker::new(long_cooldown());
+        assert_eq!(b.admit(), Admission::Admitted);
+        // Two failures: below min_calls, still closed.
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Third failure: window = [f, f, f], rate 1.0 ≥ 0.5 → opens.
+        assert!(b.record_failure());
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn successes_keep_the_rate_below_threshold() {
+        let mut b = CircuitBreaker::new(long_cooldown());
+        for _ in 0..5 {
+            b.record_success();
+        }
+        // Window [ok×5, f, f]: rate 2/7 < 0.5 → stays closed.
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_breaker_short_circuits_without_invoking_the_backend() {
+        let mut b = CircuitBreaker::new(long_cooldown());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Long cooldown: every admit is rejected — the caller never
+        // reaches the backend.
+        assert_eq!(b.admit(), Admission::Rejected);
+        assert_eq!(b.admit(), Admission::Rejected);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = CircuitBreaker::new(instant_cooldown());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        // Cooldown is zero: next admit is the half-open probe.
+        assert_eq!(b.admit(), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.failure_rate(), 0.0, "window cleared on recovery");
+        assert_eq!(b.admit(), Admission::Admitted);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(instant_cooldown());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.admit(), Admission::Probe);
+        assert!(b.record_failure(), "probe failure must re-open");
+        // Zero cooldown means it immediately offers another probe; with
+        // a real cooldown it would reject.
+        let mut slow = CircuitBreaker::new(long_cooldown());
+        for _ in 0..3 {
+            slow.record_failure();
+        }
+        assert_eq!(slow.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn window_slides() {
+        let cfg =
+            BreakerConfig { window: 4, min_calls: 4, failure_rate: 0.75, cooldown: Duration::ZERO };
+        let mut b = CircuitBreaker::new(cfg);
+        b.record_failure();
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        // Window [f,f,f,ok] → 0.75 ≥ 0.75 would open on the *next*
+        // failure; an old failure slides out first.
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.record_failure(), "window [f,f,ok,f] slides to [f,f,ok,f] rate 0.75");
+    }
+}

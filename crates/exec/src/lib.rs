@@ -49,20 +49,29 @@
 
 pub mod backend;
 pub mod backends;
+pub mod breaker;
+pub mod budget;
 pub mod error;
 pub mod fault;
+pub mod journal;
 pub mod plan;
 pub mod stage;
+pub mod supervisor;
 
 pub use backend::{Backend, BackendMetrics, Candidates, Prepared};
 pub use backends::{
     AnnealerBackend, ClassicalBackend, GateModelBackend, GroverBackend, BBHT_GROWTH,
     PACKED_SAMPLER_LIMIT,
 };
-pub use error::ExecError;
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use budget::{RetryPolicy, RunBudget};
+pub use error::{ExecError, FailedAttempt, FaultKind};
 pub use fault::FaultInjection;
+pub use journal::{JournalEvent, JournalKind, RunCtx, RunJournal};
+pub use nck_cancel::CancelToken;
 pub use plan::{ExecReport, ExecutionPlan, PlanStats, Tally};
-pub use stage::StageTimings;
+pub use stage::{StageOutcome, StageTimings};
+pub use supervisor::{SupervisedFailure, Supervisor};
 
 use nck_anneal::AnnealerDevice;
 use nck_circuit::GateModelDevice;

@@ -10,12 +10,15 @@
 //! classical solve (§VIII-C).
 
 use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
-use crate::error::ExecError;
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::error::{ExecError, FailedAttempt};
+use crate::journal::{RunCtx, RunJournal};
 use crate::stage::StageTimings;
 use nck_classical::OptimalityOracle;
 use nck_compile::{compile, CompiledProgram, CompilerOptions};
 use nck_core::{Program, SolutionQuality};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -85,6 +88,10 @@ pub struct ExecReport {
     pub metrics: BackendMetrics,
     /// The compiled program, shared with the plan's cache.
     pub compiled: Arc<CompiledProgram>,
+    /// The structured journal of the run: every attempt, fault,
+    /// fallback, breaker transition, and ladder step. Empty for plain
+    /// fault-free runs.
+    pub journal: RunJournal,
 }
 
 /// A program prepared for execution: compiles once, fans out to any
@@ -99,6 +106,8 @@ pub struct ExecutionPlan<'p> {
     compile_hits: AtomicU64,
     oracle_builds: AtomicU64,
     oracle_hits: AtomicU64,
+    breaker_config: BreakerConfig,
+    breakers: Mutex<HashMap<&'static str, CircuitBreaker>>,
 }
 
 impl<'p> ExecutionPlan<'p> {
@@ -118,7 +127,16 @@ impl<'p> ExecutionPlan<'p> {
             compile_hits: AtomicU64::new(0),
             oracle_builds: AtomicU64::new(0),
             oracle_hits: AtomicU64::new(0),
+            breaker_config: BreakerConfig::default(),
+            breakers: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Override the circuit-breaker tuning used for every backend
+    /// executed through this plan.
+    pub fn with_breaker_config(mut self, config: BreakerConfig) -> Self {
+        self.breaker_config = config;
+        self
     }
 
     /// Pre-seed the optimality oracle (e.g. from a closed-form or
@@ -184,21 +202,46 @@ impl<'p> ExecutionPlan<'p> {
         }
     }
 
+    /// Run a closure against the (lazily created) circuit breaker for
+    /// `backend`. Breakers are per-plan, per-backend-name, shared
+    /// across every supervised run through this plan.
+    pub fn breaker<R>(&self, backend: &'static str, f: impl FnOnce(&mut CircuitBreaker) -> R) -> R {
+        let mut guard = self.breakers.lock();
+        let b = guard.entry(backend).or_insert_with(|| CircuitBreaker::new(self.breaker_config));
+        f(b)
+    }
+
     /// Execute once on `backend` with `seed`, sharing the plan's
-    /// compiled program and oracle.
+    /// compiled program and oracle. A plain, unsupervised run: never
+    /// cancelled, attempt 0, no retries — exactly the pre-supervisor
+    /// behaviour.
     pub fn run(&self, backend: &dyn Backend, seed: u64) -> Result<ExecReport, ExecError> {
+        let mut ctx = RunCtx::plain(backend.name());
+        self.run_with_ctx(backend, seed, &mut ctx)
+    }
+
+    /// Execute once on `backend` under an explicit [`RunCtx`] (the
+    /// supervisor's entry point: the context carries the shared
+    /// cancellation token, the attempt index, and the journal
+    /// timebase). On success the context's journal and stage timings
+    /// move into the report.
+    pub fn run_with_ctx(
+        &self,
+        backend: &dyn Backend,
+        seed: u64,
+        ctx: &mut RunCtx,
+    ) -> Result<ExecReport, ExecError> {
+        ctx.enter_stage("compile");
         let t = Instant::now();
         let (compiled, compile_hit) = self.compiled_cached()?;
-        let mut stages = StageTimings {
-            // A cache hit costs only the lock; a miss is the real
-            // compile, whose wall-time the compiler already recorded.
-            compile: if compile_hit { t.elapsed() } else { compiled.elapsed },
-            compile_cache_hit: compile_hit,
-            ..StageTimings::default()
-        };
+        // A cache hit costs only the lock; a miss is the real compile,
+        // whose wall-time the compiler already recorded.
+        ctx.stages.compile = if compile_hit { t.elapsed() } else { compiled.elapsed };
+        ctx.stages.compile_cache_hit = compile_hit;
         let prepared = Prepared { program: self.program, compiled: &compiled };
-        let (candidates, metrics) = backend.run(&prepared, seed, &mut stages)?;
+        let (candidates, metrics) = backend.run(&prepared, seed, ctx)?;
 
+        ctx.enter_stage("decode");
         let t = Instant::now();
         let assignments: Vec<Vec<bool>> = match candidates {
             Candidates::Qubo(raw) => {
@@ -210,9 +253,10 @@ impl<'p> ExecutionPlan<'p> {
                 vec![assignment]
             }
         };
-        stages.decode = t.elapsed();
-        stages.candidates = assignments.len();
+        ctx.stages.decode = t.elapsed();
+        ctx.stages.candidates = assignments.len();
 
+        ctx.enter_stage("classify");
         let t = Instant::now();
         let oracle = self.oracle();
         let max_soft = oracle.max_soft.ok_or(ExecError::Unsatisfiable)?;
@@ -229,7 +273,7 @@ impl<'p> ExecutionPlan<'p> {
                 best = Some((quality, ev.soft_weight_satisfied, ev.soft_satisfied, a));
             }
         }
-        stages.classify = t.elapsed();
+        ctx.stages.classify = t.elapsed();
         let (quality, soft_weight, soft_satisfied, assignment) =
             best.ok_or(ExecError::NoCandidates)?;
         Ok(ExecReport {
@@ -240,9 +284,28 @@ impl<'p> ExecutionPlan<'p> {
             soft_weight,
             max_soft,
             tally,
-            timings: stages,
+            timings: std::mem::take(&mut ctx.stages),
             metrics,
             compiled,
+            journal: std::mem::take(&mut ctx.journal),
+        })
+    }
+
+    /// Like [`run_with_ctx`](ExecutionPlan::run_with_ctx), but failures
+    /// come back as a [`FailedAttempt`] carrying the backend name, the
+    /// pipeline stage that was executing, and the attempt index — the
+    /// provenance the supervisor journals and reports.
+    pub fn run_attempt(
+        &self,
+        backend: &dyn Backend,
+        seed: u64,
+        ctx: &mut RunCtx,
+    ) -> Result<ExecReport, FailedAttempt> {
+        self.run_with_ctx(backend, seed, ctx).map_err(|error| FailedAttempt {
+            backend: ctx.backend,
+            stage: ctx.stage,
+            attempt: ctx.attempt,
+            error,
         })
     }
 

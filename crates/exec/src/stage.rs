@@ -10,6 +10,34 @@
 
 use std::time::Duration;
 
+/// How an execution ended, for the CSV `outcome` column.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// Clean first-attempt success, no retries or fallbacks.
+    #[default]
+    Ok,
+    /// Succeeded, but only after at least one retry (embedding reseed
+    /// or a supervisor retry of the whole attempt).
+    Retried,
+    /// Succeeded, but only via a fallback policy (clique embedding,
+    /// analytic p = 1 QAOA) or a degradation-ladder step.
+    FellBack,
+    /// The execution failed with a typed error.
+    Failed,
+}
+
+impl StageOutcome {
+    /// The CSV cell for this outcome.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StageOutcome::Ok => "ok",
+            StageOutcome::Retried => "retried",
+            StageOutcome::FellBack => "fell_back",
+            StageOutcome::Failed => "failed",
+        }
+    }
+}
+
 /// Wall-times and counters for one execution through the pipeline.
 #[derive(Clone, Debug, Default)]
 pub struct StageTimings {
@@ -39,11 +67,17 @@ pub struct StageTimings {
     pub fallbacks: u32,
     /// Candidate assignments the backend returned for classification.
     pub candidates: usize,
+    /// Supervisor attempt index this timing belongs to (0 for plain
+    /// unsupervised runs and first attempts).
+    pub attempt: u32,
+    /// How the execution ended (overridden by the supervisor when it
+    /// retried or degraded across attempts).
+    pub outcome: StageOutcome,
 }
 
 impl StageTimings {
     /// Header for the CSV emitted by [`StageTimings::csv_rows`].
-    pub const CSV_HEADER: &'static str = "label,stage,ms";
+    pub const CSV_HEADER: &'static str = "label,stage,ms,outcome,attempts";
 
     /// The five pipeline stages in order, with their wall-times.
     pub fn stages(&self) -> [(&'static str, Duration); 5] {
@@ -61,11 +95,41 @@ impl StageTimings {
         self.stages().iter().map(|&(_, d)| d).sum()
     }
 
-    /// One CSV row per stage (`label,stage,ms`), newline-terminated.
+    /// The outcome for the CSV: an explicit `Failed`/`FellBack` marker
+    /// wins; otherwise in-attempt counters decide (fallback taken →
+    /// `fell_back`, any retry → `retried`, else `ok`).
+    pub fn effective_outcome(&self) -> StageOutcome {
+        match self.outcome {
+            StageOutcome::Ok => {
+                if self.fallbacks > 0 {
+                    StageOutcome::FellBack
+                } else if self.embed_retries > 0 || self.attempt > 0 {
+                    StageOutcome::Retried
+                } else {
+                    StageOutcome::Ok
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// Total attempts this execution consumed (the attempt index is
+    /// 0-based).
+    pub fn attempts(&self) -> u32 {
+        self.attempt + 1
+    }
+
+    /// One CSV row per stage (`label,stage,ms,outcome,attempts`),
+    /// newline-terminated.
     pub fn csv_rows(&self, label: &str) -> String {
+        let outcome = self.effective_outcome().as_str();
+        let attempts = self.attempts();
         let mut out = String::new();
         for (stage, d) in self.stages() {
-            out.push_str(&format!("{label},{stage},{:.3}\n", d.as_secs_f64() * 1e3));
+            out.push_str(&format!(
+                "{label},{stage},{:.3},{outcome},{attempts}\n",
+                d.as_secs_f64() * 1e3
+            ));
         }
         out
     }
@@ -84,9 +148,9 @@ mod tests {
         };
         let csv = t.csv_rows("vc");
         assert_eq!(csv.lines().count(), 5);
-        assert!(csv.starts_with("vc,compile,2.000\n"));
-        assert!(csv.contains("vc,sample,30.000\n"));
-        assert!(csv.contains("vc,decode,0.000\n"));
+        assert!(csv.starts_with("vc,compile,2.000,ok,1\n"), "{csv}");
+        assert!(csv.contains("vc,sample,30.000,ok,1\n"));
+        assert!(csv.contains("vc,decode,0.000,ok,1\n"));
     }
 
     #[test]
@@ -97,5 +161,25 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(t.total(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn outcome_column_reflects_retries_and_fallbacks() {
+        let mut t = StageTimings::default();
+        assert_eq!(t.effective_outcome(), StageOutcome::Ok);
+        t.embed_retries = 2;
+        assert_eq!(t.effective_outcome(), StageOutcome::Retried);
+        t.fallbacks = 1;
+        assert_eq!(t.effective_outcome(), StageOutcome::FellBack);
+        t.outcome = StageOutcome::Failed;
+        assert_eq!(t.effective_outcome(), StageOutcome::Failed);
+        assert!(t.csv_rows("x").contains(",failed,1\n"));
+    }
+
+    #[test]
+    fn supervised_retry_shows_in_attempts_column() {
+        let t = StageTimings { attempt: 2, ..Default::default() };
+        assert_eq!(t.effective_outcome(), StageOutcome::Retried);
+        assert!(t.csv_rows("x").starts_with("x,compile,0.000,retried,3\n"));
     }
 }

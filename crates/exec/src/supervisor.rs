@@ -1,0 +1,510 @@
+//! The resilient execution supervisor: deadlines, retries with
+//! backoff, circuit breakers, and degradation ladders over any
+//! [`Backend`] sequence.
+//!
+//! A [`Supervisor`] wraps [`ExecutionPlan::run`] in the policy loop
+//! real substrates need:
+//!
+//! 1. a [`RunBudget`] bounds the whole run — wall-clock deadline,
+//!    total attempts, total samples;
+//! 2. a [`RetryPolicy`] retries *transient* failures
+//!    ([`ExecError::transient`]) on the same rung with deterministic
+//!    seeded backoff;
+//! 3. the plan's per-backend [`CircuitBreaker`]s
+//!    ([`ExecutionPlan::breaker`]) short-circuit rungs that keep
+//!    failing;
+//! 4. a **degradation ladder** — an ordered backend sequence such as
+//!    `gate → annealer → classical` — moves to the next rung on a
+//!    permanent error, an opened breaker, or rung-budget exhaustion.
+//!
+//! The wall-clock deadline is divided across the remaining rungs: rung
+//! `i` of `k` remaining receives `remaining / (k − i)` as its
+//! cancellation deadline, so a wedged rung (an injected sampler stall,
+//! a runaway optimizer) cannot starve the rungs below it, and time a
+//! rung does not use rolls over to the next. Every attempt, fault,
+//! fallback, breaker transition, and ladder step is recorded in a
+//! [`RunJournal`] with one shared timebase; the journal rides on the
+//! [`ExecReport`] on success and on the [`SupervisedFailure`]
+//! otherwise, so *why* a run took the path it took is never lost.
+//!
+//! [`CircuitBreaker`]: crate::CircuitBreaker
+
+use crate::backend::Backend;
+use crate::breaker::Admission;
+use crate::budget::{RetryPolicy, RunBudget};
+use crate::error::{ExecError, FailedAttempt};
+use crate::journal::{JournalKind, RunCtx, RunJournal};
+use crate::plan::{ExecReport, ExecutionPlan};
+use crate::stage::StageOutcome;
+use nck_cancel::CancelToken;
+use std::fmt;
+use std::time::Instant;
+
+/// A supervised run that exhausted every rung of its ladder: the final
+/// typed error with full provenance, plus the complete journal of
+/// everything that was tried.
+#[derive(Clone, Debug)]
+pub struct SupervisedFailure {
+    /// The last attempt's failure (backend, stage, attempt, error).
+    pub error: FailedAttempt,
+    /// The complete journal; its final event is always
+    /// [`JournalKind::Failed`].
+    pub journal: RunJournal,
+}
+
+impl fmt::Display for SupervisedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "supervised run failed: {}", self.error)
+    }
+}
+
+impl std::error::Error for SupervisedFailure {}
+
+/// The policy bundle wrapping every supervised execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Supervisor {
+    /// The cost envelope: deadline, attempts, samples.
+    pub budget: RunBudget,
+    /// Backoff spacing for transient-failure retries.
+    pub retry: RetryPolicy,
+}
+
+impl Supervisor {
+    /// A supervisor with the given budget and retry policy.
+    pub fn new(budget: RunBudget, retry: RetryPolicy) -> Self {
+        Supervisor { budget, retry }
+    }
+
+    /// Derive the seed for attempt `k` of a rung: attempt 0 uses the
+    /// caller's seed unchanged (a fault-free supervised run reproduces
+    /// the plain run bit-for-bit), retries decorrelate.
+    fn attempt_seed(seed: u64, global_attempt: u32) -> u64 {
+        seed ^ u64::from(global_attempt).wrapping_mul(0x9e3779b97f4a7c15)
+    }
+
+    /// Execute `plan` down the `ladder` under this supervisor's
+    /// policies. Returns the first rung's successful report, or — when
+    /// every rung fails or the budget runs out — a
+    /// [`SupervisedFailure`] whose journal explains the whole run.
+    pub fn run(
+        &self,
+        plan: &ExecutionPlan<'_>,
+        ladder: &[&dyn Backend],
+        seed: u64,
+    ) -> Result<ExecReport, Box<SupervisedFailure>> {
+        let started = Instant::now();
+        let global = self.budget.token();
+        let mut journal = RunJournal::default();
+        let mut global_attempt: u32 = 0;
+        let mut samples_used: u64 = 0;
+        let mut last_error = FailedAttempt {
+            backend: "supervisor",
+            stage: "ladder",
+            attempt: 0,
+            error: ExecError::NoCandidates,
+        };
+
+        'rungs: for (ri, backend) in ladder.iter().enumerate() {
+            let name = backend.name();
+            // Slice the remaining global deadline across the remaining
+            // rungs; the last rung inherits everything left.
+            // With no deadline the rung shares the global token (an
+            // Arc bump, and explicit cancellation still propagates);
+            // with one, the rung gets its own sliced deadline.
+            let rung_token = match global.remaining() {
+                None => global.clone(),
+                Some(rem) => {
+                    if global.is_cancelled() {
+                        last_error = FailedAttempt {
+                            backend: name,
+                            stage: "budget",
+                            attempt: global_attempt,
+                            error: ExecError::BudgetExhausted { what: "deadline" },
+                        };
+                        break 'rungs;
+                    }
+                    CancelToken::with_deadline(rem / (ladder.len() - ri) as u32)
+                }
+            };
+            let mut rung_attempt: u32 = 0;
+            loop {
+                if global_attempt >= self.budget.max_attempts {
+                    last_error = FailedAttempt {
+                        backend: name,
+                        stage: "budget",
+                        attempt: global_attempt,
+                        error: ExecError::BudgetExhausted { what: "attempts" },
+                    };
+                    journal.push(
+                        started.elapsed(),
+                        name,
+                        rung_attempt,
+                        JournalKind::RungExhausted { reason: "attempt budget spent".into() },
+                    );
+                    break 'rungs;
+                }
+                if let Some(max) = self.budget.max_samples {
+                    if samples_used >= max {
+                        last_error = FailedAttempt {
+                            backend: name,
+                            stage: "budget",
+                            attempt: global_attempt,
+                            error: ExecError::BudgetExhausted { what: "samples" },
+                        };
+                        journal.push(
+                            started.elapsed(),
+                            name,
+                            rung_attempt,
+                            JournalKind::RungExhausted { reason: "sample budget spent".into() },
+                        );
+                        break 'rungs;
+                    }
+                }
+                // Breaker gate: an open breaker rejects the rung
+                // without invoking the backend at all.
+                match plan.breaker(name, |b| b.admit()) {
+                    Admission::Rejected => {
+                        journal.push(
+                            started.elapsed(),
+                            name,
+                            rung_attempt,
+                            JournalKind::BreakerShortCircuit,
+                        );
+                        last_error = FailedAttempt {
+                            backend: name,
+                            stage: "breaker",
+                            attempt: rung_attempt,
+                            error: ExecError::BreakerOpen { backend: name },
+                        };
+                        journal.push(
+                            started.elapsed(),
+                            name,
+                            rung_attempt,
+                            JournalKind::RungExhausted { reason: "circuit breaker open".into() },
+                        );
+                        break;
+                    }
+                    Admission::Probe => {
+                        journal.push(
+                            started.elapsed(),
+                            name,
+                            rung_attempt,
+                            JournalKind::BreakerProbe,
+                        );
+                    }
+                    Admission::Admitted => {}
+                }
+
+                journal.push(started.elapsed(), name, rung_attempt, JournalKind::AttemptStarted);
+                let mut ctx = RunCtx::new(name, rung_token.clone(), rung_attempt, started);
+                let attempt_seed = Self::attempt_seed(seed, global_attempt);
+                global_attempt += 1;
+                match plan.run_attempt(*backend, attempt_seed, &mut ctx) {
+                    Ok(mut report) => {
+                        plan.breaker(name, |b| b.record_success());
+                        journal.events.append(&mut report.journal.events);
+                        journal.push(started.elapsed(), name, rung_attempt, JournalKind::Succeeded);
+                        if ri > 0 {
+                            report.timings.outcome = StageOutcome::FellBack;
+                        }
+                        report.journal = journal;
+                        return Ok(report);
+                    }
+                    Err(failed) => {
+                        samples_used += ctx.stages.candidates as u64;
+                        journal.events.append(&mut ctx.journal.events);
+                        journal.push(
+                            started.elapsed(),
+                            name,
+                            rung_attempt,
+                            JournalKind::StageFailed {
+                                stage: failed.stage,
+                                error: failed.error.clone(),
+                                suppressed: false,
+                            },
+                        );
+                        let opened = plan.breaker(name, |b| b.record_failure());
+                        if opened {
+                            journal.push(
+                                started.elapsed(),
+                                name,
+                                rung_attempt,
+                                JournalKind::BreakerOpened,
+                            );
+                        }
+                        let retryable = failed.error.transient()
+                            && rung_attempt < self.retry.retries_per_rung
+                            && !opened
+                            && !rung_token.is_cancelled();
+                        last_error = failed;
+                        if retryable {
+                            let mut backoff = self.retry.delay(rung_attempt);
+                            if let Some(rem) = rung_token.remaining() {
+                                backoff = backoff.min(rem);
+                            }
+                            journal.push(
+                                started.elapsed(),
+                                name,
+                                rung_attempt,
+                                JournalKind::Retry { backoff },
+                            );
+                            if !rung_token.sleep(backoff) {
+                                journal.push(
+                                    started.elapsed(),
+                                    name,
+                                    rung_attempt,
+                                    JournalKind::RungExhausted {
+                                        reason: "deadline fired during backoff".into(),
+                                    },
+                                );
+                                break;
+                            }
+                            rung_attempt += 1;
+                            continue;
+                        }
+                        let reason = if last_error.error.transient() {
+                            if opened {
+                                "circuit breaker opened".to_string()
+                            } else if rung_token.is_cancelled() {
+                                "rung deadline reached".to_string()
+                            } else {
+                                format!("retries exhausted ({} attempts)", rung_attempt + 1)
+                            }
+                        } else {
+                            format!("permanent error: {}", last_error.error)
+                        };
+                        journal.push(
+                            started.elapsed(),
+                            name,
+                            rung_attempt,
+                            JournalKind::RungExhausted { reason },
+                        );
+                        break;
+                    }
+                }
+            }
+            if let Some(next) = ladder.get(ri + 1) {
+                journal.push(
+                    started.elapsed(),
+                    name,
+                    rung_attempt,
+                    JournalKind::LadderStep { from: name, to: next.name() },
+                );
+            }
+        }
+
+        journal.push(
+            started.elapsed(),
+            last_error.backend,
+            last_error.attempt,
+            JournalKind::Failed { error: last_error.error.clone() },
+        );
+        Err(Box::new(SupervisedFailure { error: last_error, journal }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{ClassicalBackend, GroverBackend};
+    use crate::breaker::BreakerConfig;
+    use crate::fault::FaultInjection;
+    use crate::stage::StageOutcome;
+    use nck_core::{Program, SolutionQuality};
+    use std::time::Duration;
+
+    /// Minimum vertex cover of the paper's Fig. 2 graph: hard edge
+    /// covers plus soft "leave v out" preferences.
+    fn vertex_cover() -> Program {
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 5).unwrap();
+        for (u, w) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)] {
+            p.nck(vec![vs[u], vs[w]], [1, 2]).unwrap();
+        }
+        for &v in &vs {
+            p.nck_soft(vec![v], [0]).unwrap();
+        }
+        p
+    }
+
+    /// A fast retry policy so the retry tests don't sleep for real.
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_supervised_run_matches_plain_run() {
+        let p = vertex_cover();
+        let plan = ExecutionPlan::new(&p);
+        let backend = ClassicalBackend::default();
+        let plain = plan.run(&backend, 7).unwrap();
+        let sup = Supervisor::default().run(&plan, &[&backend], 7).unwrap();
+        assert_eq!(sup.assignment, plain.assignment);
+        assert_eq!(sup.quality, plain.quality);
+        assert_eq!(sup.timings.outcome, StageOutcome::Ok);
+        assert_eq!(sup.journal.attempts(), 1);
+        assert!(sup.journal.is_complete(), "{}", sup.journal.render());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_recovered() {
+        let p = vertex_cover();
+        let plan = ExecutionPlan::new(&p);
+        let backend =
+            ClassicalBackend::default().with_faults(FaultInjection::transient_failures(2));
+        let sup = Supervisor { retry: fast_retry(), ..Supervisor::default() };
+        let report = sup.run(&plan, &[&backend], 7).unwrap();
+        assert_eq!(report.quality, SolutionQuality::Optimal);
+        assert_eq!(report.timings.attempt, 2, "recovered on the third attempt");
+        assert_eq!(report.timings.effective_outcome(), StageOutcome::Retried);
+        assert_eq!(report.journal.attempts(), 3);
+        let retries = report
+            .journal
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, JournalKind::Retry { .. }))
+            .count();
+        assert_eq!(retries, 2, "{}", report.journal.render());
+    }
+
+    #[test]
+    fn permanent_error_degrades_down_the_ladder() {
+        let p = vertex_cover(); // has soft constraints: Grover refuses
+        let plan = ExecutionPlan::new(&p);
+        let grover = GroverBackend::default();
+        let classical = ClassicalBackend::default();
+        let sup = Supervisor { retry: fast_retry(), ..Supervisor::default() };
+        let report = sup.run(&plan, &[&grover, &classical], 7).unwrap();
+        assert_eq!(report.quality, SolutionQuality::Optimal);
+        assert_eq!(report.timings.outcome, StageOutcome::FellBack);
+        let stepped =
+            report.journal.events.iter().any(|e| {
+                matches!(e.kind, JournalKind::LadderStep { from: "grover", to: "classical" })
+            });
+        assert!(stepped, "{}", report.journal.render());
+        // Permanent errors are not retried: one attempt per rung.
+        assert_eq!(report.journal.attempts(), 2);
+    }
+
+    #[test]
+    fn exhausted_ladder_returns_typed_failure_with_complete_journal() {
+        let p = vertex_cover();
+        let plan = ExecutionPlan::new(&p);
+        let grover = GroverBackend::default();
+        let failure = Supervisor::default().run(&plan, &[&grover], 7).unwrap_err();
+        assert!(
+            matches!(failure.error.error, ExecError::SoftUnsupported { .. }),
+            "{}",
+            failure.error
+        );
+        assert_eq!(failure.error.backend, "grover");
+        assert_eq!(failure.error.stage, "sample");
+        assert!(failure.journal.is_complete(), "{}", failure.journal.render());
+    }
+
+    #[test]
+    fn opened_breaker_stops_the_rung_and_short_circuits_the_next_run() {
+        let p = vertex_cover();
+        let plan = ExecutionPlan::new(&p).with_breaker_config(BreakerConfig {
+            window: 4,
+            failure_rate: 0.5,
+            min_calls: 1,
+            cooldown: Duration::from_secs(60),
+        });
+        let faulty =
+            ClassicalBackend::default().with_faults(FaultInjection::transient_failures(100));
+        let sup = Supervisor { retry: fast_retry(), ..Supervisor::default() };
+
+        // First run: the very first failure opens the breaker, so the
+        // rung stops after one attempt despite the retry budget.
+        let failure = sup.run(&plan, &[&faulty], 7).unwrap_err();
+        assert_eq!(failure.journal.attempts(), 1, "{}", failure.journal.render());
+        let opened =
+            failure.journal.events.iter().any(|e| matches!(e.kind, JournalKind::BreakerOpened));
+        assert!(opened, "{}", failure.journal.render());
+
+        // Second run on the same plan: the open breaker rejects the
+        // rung without invoking the backend at all.
+        let failure = sup.run(&plan, &[&faulty], 8).unwrap_err();
+        assert_eq!(failure.journal.attempts(), 0, "{}", failure.journal.render());
+        assert!(matches!(failure.error.error, ExecError::BreakerOpen { backend: "classical" }));
+        let short = failure
+            .journal
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, JournalKind::BreakerShortCircuit));
+        assert!(short, "{}", failure.journal.render());
+    }
+
+    #[test]
+    fn attempt_budget_bounds_the_whole_ladder() {
+        let p = vertex_cover();
+        // A breaker lenient enough that the attempt budget, not the
+        // breaker, is what stops the run.
+        let plan = ExecutionPlan::new(&p)
+            .with_breaker_config(BreakerConfig { min_calls: 100, ..BreakerConfig::default() });
+        let faulty =
+            ClassicalBackend::default().with_faults(FaultInjection::transient_failures(100));
+        let sup = Supervisor {
+            budget: RunBudget { max_attempts: 3, ..RunBudget::default() },
+            retry: RetryPolicy { retries_per_rung: 10, ..fast_retry() },
+        };
+        let failure = sup.run(&plan, &[&faulty], 7).unwrap_err();
+        assert_eq!(failure.journal.attempts(), 3, "{}", failure.journal.render());
+        assert!(matches!(failure.error.error, ExecError::BudgetExhausted { what: "attempts" }));
+    }
+
+    #[test]
+    fn stalled_rung_is_rescued_by_the_next_rung_within_the_deadline() {
+        let p = vertex_cover();
+        let plan = ExecutionPlan::new(&p);
+        // A rung that stalls far past the whole deadline...
+        let stalled =
+            ClassicalBackend::default().with_faults(FaultInjection::stall(Duration::from_secs(30)));
+        // ...must not starve the healthy rung below it.
+        let healthy = ClassicalBackend::default();
+        let sup = Supervisor {
+            budget: RunBudget::with_deadline(Duration::from_millis(400)),
+            retry: fast_retry(),
+        };
+        let t = Instant::now();
+        let report = sup.run(&plan, &[&stalled, &healthy], 7).unwrap();
+        assert!(
+            t.elapsed() < Duration::from_secs(2),
+            "supervised run overran its deadline: {:?}",
+            t.elapsed()
+        );
+        assert_eq!(report.quality, SolutionQuality::Optimal);
+        assert_eq!(report.timings.outcome, StageOutcome::FellBack);
+    }
+
+    #[test]
+    fn zero_deadline_fails_immediately_with_budget_error() {
+        let p = vertex_cover();
+        let plan = ExecutionPlan::new(&p);
+        let backend = ClassicalBackend::default();
+        let sup =
+            Supervisor { budget: RunBudget::with_deadline(Duration::ZERO), retry: fast_retry() };
+        let failure = sup.run(&plan, &[&backend], 7).unwrap_err();
+        assert!(
+            matches!(
+                failure.error.error,
+                ExecError::BudgetExhausted { what: "deadline" } | ExecError::Cancelled { .. }
+            ),
+            "{}",
+            failure.error
+        );
+        assert!(failure.journal.is_complete());
+    }
+
+    #[test]
+    fn retry_seeds_decorrelate_but_first_attempt_seed_is_the_callers() {
+        assert_eq!(Supervisor::attempt_seed(42, 0), 42);
+        assert_ne!(Supervisor::attempt_seed(42, 1), 42);
+        assert_ne!(Supervisor::attempt_seed(42, 1), Supervisor::attempt_seed(42, 2));
+    }
+}

@@ -60,7 +60,7 @@ impl HarnessOutcome {
 /// regardless of backend: agreement with the brute oracle on the
 /// optimum, internally consistent classification, and a tally that
 /// accounts for every candidate.
-fn check_report(
+pub(crate) fn check_report(
     gp: &GeneratedProgram,
     brute: &BruteResult,
     report: &ExecReport,

@@ -32,14 +32,22 @@
 //! Any violated relation surfaces as a [`Discrepancy`]; the
 //! [`minimize`] module shrinks the offending program to a minimal
 //! reproduction for a regression test.
+//!
+//! The [`chaos`] module extends the sweep to the resilience
+//! supervisor: scripted faults (latency, stalls, transient failures,
+//! chain-break storms) across degradation ladders and seeds, asserting
+//! termination within budget, recovery of every recoverable script,
+//! and complete journals on typed failures.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod gen;
 pub mod harness;
 pub mod invariants;
 pub mod minimize;
 
+pub use chaos::{chaos_scripts, run_chaos, ChaosConfig, ChaosOutcome, Expectation, FaultScript};
 pub use gen::{corpus, Family, GeneratedProgram};
 pub use harness::{run_differential, HarnessConfig, HarnessOutcome};
 pub use minimize::minimize_program;

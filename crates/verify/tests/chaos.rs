@@ -1,0 +1,37 @@
+//! The chaos sweep: every fault script through every degradation
+//! ladder at multiple seeds, under a wall-clock budget. This is the CI
+//! `chaos` job's entry point.
+
+use nck_verify::chaos::LADDERS;
+use nck_verify::{chaos_scripts, run_chaos, ChaosConfig, Expectation};
+
+const SEEDS: [u64; 2] = [11, 29];
+
+#[test]
+fn chaos_sweep_terminates_recovers_and_journals() {
+    let scripts = chaos_scripts();
+    assert!(scripts.len() >= 20, "chaos corpus shrank to {} scripts", scripts.len());
+    assert!(LADDERS.len() >= 2);
+
+    let outcome = run_chaos(&scripts, &SEEDS, &ChaosConfig::default());
+    assert_eq!(outcome.runs, scripts.len() * LADDERS.len() * SEEDS.len());
+    assert!(outcome.discrepancies.is_empty(), "{}", outcome.report());
+
+    // Every recoverable script recovered on every ladder and seed, and
+    // every unrecoverable one failed typed — so the totals partition.
+    let recoverable = scripts.iter().filter(|s| s.expect == Expectation::Recovers).count();
+    assert_eq!(outcome.recovered, recoverable * LADDERS.len() * SEEDS.len());
+    assert_eq!(outcome.recovered + outcome.failed, outcome.runs);
+}
+
+#[test]
+fn chaos_sweep_is_deterministic_per_seed() {
+    // A transient-heavy script twice at the same seed: identical
+    // recovery, identical journal shape (event kinds in order).
+    let scripts: Vec<_> = chaos_scripts().into_iter().filter(|s| s.name == "transient-2").collect();
+    let a = run_chaos(&scripts, &[11], &ChaosConfig::default());
+    let b = run_chaos(&scripts, &[11], &ChaosConfig::default());
+    assert!(a.discrepancies.is_empty(), "{}", a.report());
+    assert_eq!(a.recovered, b.recovered);
+    assert_eq!(a.failed, b.failed);
+}

@@ -1,19 +1,31 @@
 //! `nchoosek` command-line driver: solve a `.nck` program on a chosen
-//! backend, selected uniformly through the [`Backend`] trait.
+//! backend (selected uniformly through the [`Backend`] trait) or on a
+//! supervised degradation ladder with deadlines, retries, and circuit
+//! breakers.
 //!
 //! ```text
 //! nchoosek <file.nck> [--backend annealer|gate|classical|grover]
 //!                     [--seed N] [--reads N] [--qubo] [--stages]
+//!                     [--ladder a,b,c] [--deadline-ms N]
+//!                     [--max-attempts N] [--journal]
 //! ```
+//!
+//! `--ladder`, `--deadline-ms`, or `--max-attempts` switch the run to
+//! the resilience [`Supervisor`]: the program executes down the ladder
+//! (default: just `--backend`) under the given budget, and `--journal`
+//! prints the structured run journal — every attempt, fault, retry,
+//! breaker transition, and ladder step.
 
 use nchoosek::cli::{format_assignment, parse_program};
 use nchoosek::prelude::*;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nchoosek <file.nck> [--backend annealer|gate|classical|grover] \
-         [--seed N] [--reads N] [--qubo] [--stages]"
+         [--seed N] [--reads N] [--qubo] [--stages] \
+         [--ladder a,b,c] [--deadline-ms N] [--max-attempts N] [--journal]"
     );
     ExitCode::from(2)
 }
@@ -39,6 +51,10 @@ fn main() -> ExitCode {
     let mut reads = 100usize;
     let mut dump_qubo = false;
     let mut show_stages = false;
+    let mut ladder_arg: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_attempts: Option<u32> = None;
+    let mut show_journal = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -54,6 +70,19 @@ fn main() -> ExitCode {
                 Some(r) => reads = r,
                 None => return usage(),
             },
+            "--ladder" => match it.next() {
+                Some(l) => ladder_arg = Some(l),
+                None => return usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(d) => deadline_ms = Some(d),
+                None => return usage(),
+            },
+            "--max-attempts" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(a) => max_attempts = Some(a),
+                None => return usage(),
+            },
+            "--journal" => show_journal = true,
             "--qubo" => dump_qubo = true,
             "--stages" => show_stages = true,
             "--help" | "-h" => {
@@ -103,12 +132,41 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let Some(solver) = make_backend(&backend, reads) else {
-        eprintln!("error: unknown backend {backend:?}");
-        return usage();
-    };
+    // Any supervision flag switches the run to the resilience
+    // supervisor; `--ladder` defaults to just the selected backend.
+    let supervised = ladder_arg.is_some() || deadline_ms.is_some() || max_attempts.is_some();
+    let rung_names: Vec<String> = ladder_arg
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| vec![backend.clone()]);
+    let mut rungs = Vec::with_capacity(rung_names.len());
+    for name in &rung_names {
+        let Some(solver) = make_backend(name, reads) else {
+            eprintln!("error: unknown backend {name:?}");
+            return usage();
+        };
+        rungs.push(solver);
+    }
     let plan = ExecutionPlan::new(&program);
-    match plan.run(solver.as_ref(), seed) {
+    let result = if supervised {
+        let mut budget = RunBudget::default();
+        if let Some(ms) = deadline_ms {
+            budget.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(a) = max_attempts {
+            budget.max_attempts = a;
+        }
+        let sup = Supervisor { budget, retry: RetryPolicy { seed, ..RetryPolicy::default() } };
+        let ladder: Vec<&dyn Backend> = rungs.iter().map(|b| b.as_ref()).collect();
+        sup.run(&plan, &ladder, seed).map_err(|failure| {
+            if show_journal {
+                eprint!("{}", failure.journal.render());
+            }
+            failure.error.to_string()
+        })
+    } else {
+        plan.run(rungs[0].as_ref(), seed).map_err(|e| e.to_string())
+    };
+    match result {
         Ok(report) => {
             println!(
                 "{} result: {} ({} of {} soft constraints; weight {} of optimum {})",
@@ -120,8 +178,11 @@ fn main() -> ExitCode {
                 report.max_soft
             );
             println!("{}", format_assignment(&program, &report.assignment));
+            if show_journal {
+                print!("{}", report.journal.render());
+            }
             if show_stages {
-                print!("{}\n{}", StageTimings::CSV_HEADER, report.timings.csv_rows(&backend));
+                print!("{}\n{}", StageTimings::CSV_HEADER, report.timings.csv_rows(report.backend));
             }
             ExitCode::SUCCESS
         }
