@@ -8,7 +8,7 @@
 use crate::chain::{embed_ising, suggested_chain_strength, EmbeddedIsing};
 use crate::embed::{find_embedding, Embedding};
 use crate::gauge::Gauge;
-use crate::sampler::{sample_ising_clustered_cancellable, NoiseModel, SaParams};
+use crate::sampler::{sample_ising_clustered_range, NoiseModel, SaParams};
 use crate::timing::TimingModel;
 use crate::topology::Topology;
 use nck_cancel::CancelToken;
@@ -212,6 +212,45 @@ impl AnnealerDevice {
         seed: u64,
         cancel: &CancelToken,
     ) -> Result<AnnealResult, AnnealError> {
+        self.sample_qubo_embedded_resumable(
+            qubo,
+            embedding,
+            num_reads,
+            seed,
+            0,
+            Vec::new(),
+            0,
+            cancel,
+            &mut |_, _| {},
+        )
+    }
+
+    /// [`sample_qubo_embedded_cancellable`](Self::sample_qubo_embedded_cancellable)
+    /// with mid-solve checkpoint/resume. Each read's RNG stream depends
+    /// only on the job seed and the read's global index, so a run that
+    /// computed reads `[0..skip_reads)` before dying and a resume
+    /// computing `[skip_reads..num_reads)` produce, together, exactly
+    /// the samples of one uninterrupted run.
+    ///
+    /// `restored` carries the decoded samples of the skipped reads (in
+    /// generation order, pre-sort). Every `chunk` completed reads
+    /// (`0` = never) `on_progress(reads_done, samples_so_far)` fires so
+    /// the caller can persist a checkpoint; it is only called after
+    /// fully completed, uncancelled chunks, so a persisted
+    /// `reads_done` is always safe to resume from.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_qubo_embedded_resumable(
+        &self,
+        qubo: &Qubo,
+        embedding: &Embedding,
+        num_reads: usize,
+        seed: u64,
+        skip_reads: usize,
+        restored: Vec<AnnealSample>,
+        chunk: usize,
+        cancel: &CancelToken,
+        on_progress: &mut dyn FnMut(usize, &[AnnealSample]),
+    ) -> Result<AnnealResult, AnnealError> {
         // Autoscale to the device range [−1, 1] (argmin-preserving).
         let mut scaled = qubo.clone();
         let m = scaled.max_abs_coeff();
@@ -224,11 +263,14 @@ impl AnnealerDevice {
         // Split the reads across spin-reversal transforms; gauge 0 is
         // the identity so num_gauges = 1 preserves the plain behavior.
         let gauges = self.num_gauges.max(1);
-        let mut samples: Vec<AnnealSample> = Vec::with_capacity(num_reads);
+        let mut samples: Vec<AnnealSample> = restored;
         let n_phys = self.topology.num_qubits();
+        let mut g_start = 0usize; // global index of this gauge's first read
         for gi in 0..gauges {
             let reads_here = num_reads / gauges + usize::from(gi < num_reads % gauges);
-            if reads_here == 0 || cancel.is_cancelled() {
+            let g_end = g_start + reads_here;
+            if reads_here == 0 || g_end <= skip_reads || cancel.is_cancelled() {
+                g_start = g_end;
                 continue;
             }
             let gauge = if gi == 0 {
@@ -237,26 +279,44 @@ impl AnnealerDevice {
                 Gauge::random(n_phys, seed ^ (gi as u64).wrapping_mul(0xd1b54a32d192ed03))
             };
             let physical = gauge.apply(&embedded.physical);
-            let reads = sample_ising_clustered_cancellable(
-                &physical,
-                &self.sa,
-                &self.noise,
-                reads_here,
-                seed ^ gi as u64,
-                embedding.chains(),
-                cancel,
-            );
-            for r in &reads {
-                let ungauged = gauge.decode(r);
-                let (mut assignment, broken_chains) = embedded.unembed(&ungauged);
-                let mut energy = qubo.energy(&assignment);
-                if self.postprocess {
-                    let (polished, e, _) = crate::postprocess::steepest_descent(qubo, &assignment);
-                    assignment = polished;
-                    energy = e;
+            let lo = skip_reads.saturating_sub(g_start);
+            let step = if chunk == 0 { reads_here } else { chunk };
+            let mut pos = lo;
+            while pos < reads_here {
+                if cancel.is_cancelled() {
+                    break;
                 }
-                samples.push(AnnealSample { assignment, energy, broken_chains });
+                let hi = (pos + step).min(reads_here);
+                let reads = sample_ising_clustered_range(
+                    &physical,
+                    &self.sa,
+                    &self.noise,
+                    pos..hi,
+                    seed ^ gi as u64,
+                    embedding.chains(),
+                    cancel,
+                );
+                let complete = reads.len() == hi - pos && !cancel.is_cancelled();
+                for r in &reads {
+                    let ungauged = gauge.decode(r);
+                    let (mut assignment, broken_chains) = embedded.unembed(&ungauged);
+                    let mut energy = qubo.energy(&assignment);
+                    if self.postprocess {
+                        let (polished, e, _) =
+                            crate::postprocess::steepest_descent(qubo, &assignment);
+                        assignment = polished;
+                        energy = e;
+                    }
+                    samples.push(AnnealSample { assignment, energy, broken_chains });
+                }
+                // Only a fully completed chunk is a safe resume point:
+                // a cancelled chunk may have dropped reads.
+                if complete && chunk != 0 {
+                    on_progress(g_start + hi, &samples);
+                }
+                pos = hi;
             }
+            g_start = g_end;
         }
         samples.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
         let total_chains = embedding.num_logical().max(1) * num_reads.max(1);
@@ -302,6 +362,61 @@ mod tests {
         let r = dev.sample_qubo(&edge_qubo(), 25, 2).unwrap();
         for w in r.samples.windows(2) {
             assert!(w[0].energy <= w[1].energy);
+        }
+    }
+
+    #[test]
+    fn resumable_sampling_matches_uninterrupted() {
+        // Multi-gauge device so resume points cross gauge boundaries.
+        let mut dev = AnnealerDevice::ideal(8);
+        dev.num_gauges = 3;
+        let qubo = edge_qubo();
+        let adj = qubo.adjacency();
+        let embedding = find_embedding(&adj, &dev.topology, 5, dev.embed_tries).unwrap();
+        let cancel = CancelToken::never();
+        let full = dev.sample_qubo_embedded_cancellable(&qubo, &embedding, 17, 9, &cancel).unwrap();
+        for skip in [0usize, 1, 5, 6, 11, 16, 17] {
+            // Phase one: a run that checkpoints after every read; keep
+            // the checkpoint that covers exactly `skip` reads (what a
+            // crash right after that save would leave behind).
+            let mut gen_order: Vec<AnnealSample> = Vec::new();
+            dev.sample_qubo_embedded_resumable(
+                &qubo,
+                &embedding,
+                17,
+                9,
+                0,
+                Vec::new(),
+                1,
+                &cancel,
+                &mut |done, samples| {
+                    if done == skip {
+                        gen_order = samples.to_vec();
+                    }
+                },
+            )
+            .unwrap();
+            // Phase two: resume from `skip` with the restored prefix.
+            let resumed = dev
+                .sample_qubo_embedded_resumable(
+                    &qubo,
+                    &embedding,
+                    17,
+                    9,
+                    skip,
+                    gen_order,
+                    2,
+                    &cancel,
+                    &mut |_, _| {},
+                )
+                .unwrap();
+            assert_eq!(resumed.samples.len(), full.samples.len(), "skip {skip}");
+            for (a, b) in resumed.samples.iter().zip(full.samples.iter()) {
+                assert_eq!(a.assignment, b.assignment, "skip {skip}");
+                assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "skip {skip}");
+                assert_eq!(a.broken_chains, b.broken_chains, "skip {skip}");
+            }
+            assert_eq!(resumed.chain_break_fraction, full.chain_break_fraction, "skip {skip}");
         }
     }
 

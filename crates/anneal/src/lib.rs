@@ -49,6 +49,9 @@ pub use device::{AnnealError, AnnealResult, AnnealSample, AnnealerDevice};
 pub use embed::{find_embedding, Embedding};
 pub use gauge::Gauge;
 pub use postprocess::steepest_descent;
-pub use sampler::{sample_ising, sample_ising_clustered, NoiseModel, SaParams};
+pub use sampler::{
+    sample_ising, sample_ising_clustered, sample_ising_clustered_cancellable,
+    sample_ising_clustered_range, NoiseModel, SaParams,
+};
 pub use timing::TimingModel;
 pub use topology::Topology;

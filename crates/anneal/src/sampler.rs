@@ -165,6 +165,24 @@ pub fn sample_ising_clustered_cancellable(
     clusters: &[Vec<usize>],
     cancel: &CancelToken,
 ) -> Vec<Vec<bool>> {
+    sample_ising_clustered_range(ising, params, noise, 0..num_reads, seed, clusters, cancel)
+}
+
+/// [`sample_ising_clustered_cancellable`] restricted to a read-index
+/// range. Each read's RNG stream depends only on `(seed, read index)`,
+/// so computing reads `[skip..n)` after a restart is bit-identical to
+/// the tail of a single `[0..n)` run — the foundation of mid-solve
+/// checkpoint/resume for the annealer.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_ising_clustered_range(
+    ising: &Ising,
+    params: &SaParams,
+    noise: &NoiseModel,
+    reads: std::ops::Range<usize>,
+    seed: u64,
+    clusters: &[Vec<usize>],
+    cancel: &CancelToken,
+) -> Vec<Vec<bool>> {
     let compact = compact_view(ising);
     let n = compact.qubits.len();
     // Map cluster qubit ids into compact indices, dropping inactive
@@ -190,7 +208,7 @@ pub fn sample_ising_clustered_cancellable(
             }
         })
         .collect();
-    (0..num_reads)
+    reads
         .into_par_iter()
         .filter_map(|read| {
             // A read not yet started when the token fires is dropped;

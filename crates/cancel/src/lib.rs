@@ -97,9 +97,61 @@ impl CancelToken {
     }
 }
 
+/// A sink for mid-solve checkpoints, living next to [`CancelToken`] for
+/// the same reason: every substrate hot loop (annealer reads, QAOA
+/// optimizer iterations, branch-and-bound incumbents, Grover guesses)
+/// can persist progress without depending on the execution layer.
+///
+/// `save` is infallible by design: a durable store that dies mid-run
+/// signals the failure out-of-band (typically by cancelling the run's
+/// [`CancelToken`]), so solver loops stay free of persistence error
+/// plumbing. `load` hands back the most recent payload saved under a
+/// tag, letting a resumed solver skip completed work.
+pub trait Checkpointer: Send + Sync {
+    /// Persist `payload` under `tag`, replacing any previous checkpoint
+    /// with the same tag. Must not panic and must not block the hot
+    /// loop for longer than a write + fsync.
+    fn save(&self, tag: &str, payload: &[u8]);
+
+    /// The most recent payload saved under `tag` in a *previous* run,
+    /// if this run is a resume. Consumed semantics are up to the
+    /// implementation; solvers call this once at startup.
+    fn load(&self, tag: &str) -> Option<Vec<u8>>;
+
+    /// Desired work units (reads, iterations, nodes — the solver's own
+    /// metric) between checkpoints. `0` disables checkpointing, which
+    /// is what [`NoopCheckpointer`] reports.
+    fn interval(&self) -> u64 {
+        0
+    }
+}
+
+/// The default checkpointer: saves nothing, loads nothing, interval 0.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopCheckpointer;
+
+impl Checkpointer for NoopCheckpointer {
+    fn save(&self, _tag: &str, _payload: &[u8]) {}
+
+    fn load(&self, _tag: &str) -> Option<Vec<u8>> {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn noop_checkpointer_is_inert() {
+        let ckpt = NoopCheckpointer;
+        ckpt.save("tag", b"payload");
+        assert_eq!(ckpt.load("tag"), None);
+        assert_eq!(ckpt.interval(), 0);
+        // And it is object-safe: solvers hold it as a trait object.
+        let dyn_ckpt: &dyn Checkpointer = &ckpt;
+        assert!(dyn_ckpt.load("tag").is_none());
+    }
 
     #[test]
     fn never_is_never_cancelled() {

@@ -56,7 +56,7 @@ pub use gates::{Circuit, Gate};
 pub use grover::{grover_search, optimal_iterations, GroverResult};
 pub use mixer::{qaoa_circuit_with_mixer, Mixer};
 pub use noise::CircuitNoise;
-pub use optim::{nelder_mead, OptimResult};
+pub use optim::{nelder_mead, nelder_mead_resumable, nelder_mead_with_stop, NmState, OptimResult};
 pub use qaoa::{
     qaoa_circuit, qaoa_expectation_sim, GateModelDevice, QaoaError, QaoaRun, QaoaTimingModel,
 };

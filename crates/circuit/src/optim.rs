@@ -43,76 +43,122 @@ pub fn nelder_mead_with_stop(
     tol: f64,
     stop: &dyn Fn() -> bool,
 ) -> OptimResult {
+    nelder_mead_resumable(f, x0, step, max_iter, tol, stop, None, &mut |_| {})
+}
+
+/// The optimizer's full mid-run state: the current simplex plus the
+/// work counters. Capturing it after any reflection cycle and feeding
+/// it back into [`nelder_mead_resumable`] continues the run exactly
+/// where it left off — the optimizer is deterministic (no RNG), so a
+/// resumed run replays the same evaluation sequence an uninterrupted
+/// one would have produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NmState {
+    /// The simplex vertices with their objective values.
+    pub simplex: Vec<(Vec<f64>, f64)>,
+    /// Objective evaluations consumed so far.
+    pub evaluations: usize,
+    /// Reflection cycles completed so far (counts toward `max_iter`).
+    pub iterations: usize,
+}
+
+/// [`nelder_mead_with_stop`] with checkpoint/resume. When `state` is
+/// `Some`, the initial simplex construction is skipped and iteration
+/// continues from the restored counters (`max_iter` bounds the *total*
+/// iterations across all resumes). `on_iter` fires after every
+/// completed reflection cycle with the current state, for persistence.
+#[allow(clippy::too_many_arguments)]
+pub fn nelder_mead_resumable(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    step: f64,
+    max_iter: usize,
+    tol: f64,
+    stop: &dyn Fn() -> bool,
+    state: Option<NmState>,
+    on_iter: &mut dyn FnMut(&NmState),
+) -> OptimResult {
     let n = x0.len();
     assert!(n >= 1, "need at least one parameter");
     let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
-    let mut evals = 0usize;
+    let mut st = match state {
+        Some(st) => {
+            assert_eq!(st.simplex.len(), n + 1, "restored simplex dimension mismatch");
+            st
+        }
+        None => {
+            // Initial simplex: x0 plus a step along each axis.
+            let mut evals = 0usize;
+            let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+            evals += 1;
+            let fx0 = f(x0);
+            simplex.push((x0.to_vec(), fx0));
+            for i in 0..n {
+                let mut x = x0.to_vec();
+                x[i] += step;
+                evals += 1;
+                let fx = f(&x);
+                simplex.push((x, fx));
+            }
+            NmState { simplex, evaluations: evals, iterations: 0 }
+        }
+    };
     let mut eval = |x: &[f64], evals: &mut usize| {
         *evals += 1;
         f(x)
     };
-    // Initial simplex: x0 plus a step along each axis.
-    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
-    let fx0 = eval(x0, &mut evals);
-    simplex.push((x0.to_vec(), fx0));
-    for i in 0..n {
-        let mut x = x0.to_vec();
-        x[i] += step;
-        let fx = eval(&x, &mut evals);
-        simplex.push((x, fx));
-    }
-    let mut iterations = 0usize;
-    for _ in 0..max_iter {
+    while st.iterations < max_iter {
         if stop() {
             break;
         }
-        iterations += 1;
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let spread = simplex[n].1 - simplex[0].1;
+        st.iterations += 1;
+        st.simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let spread = st.simplex[n].1 - st.simplex[0].1;
         if spread.abs() < tol {
             break;
         }
         // Centroid of all but the worst.
         let mut centroid = vec![0.0; n];
-        for (x, _) in &simplex[..n] {
+        for (x, _) in &st.simplex[..n] {
             for (c, v) in centroid.iter_mut().zip(x) {
                 *c += v / n as f64;
             }
         }
-        let worst = simplex[n].clone();
+        let worst = st.simplex[n].clone();
         let reflect: Vec<f64> =
             centroid.iter().zip(&worst.0).map(|(c, w)| c + alpha * (c - w)).collect();
-        let fr = eval(&reflect, &mut evals);
-        if fr < simplex[0].1 {
+        let fr = eval(&reflect, &mut st.evaluations);
+        if fr < st.simplex[0].1 {
             // Try expanding.
             let expand: Vec<f64> =
                 centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
-            let fe = eval(&expand, &mut evals);
-            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
-        } else if fr < simplex[n - 1].1 {
-            simplex[n] = (reflect, fr);
+            let fe = eval(&expand, &mut st.evaluations);
+            st.simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < st.simplex[n - 1].1 {
+            st.simplex[n] = (reflect, fr);
         } else {
             // Contract toward the centroid.
             let contract: Vec<f64> =
                 centroid.iter().zip(&worst.0).map(|(c, w)| c + rho * (w - c)).collect();
-            let fc = eval(&contract, &mut evals);
+            let fc = eval(&contract, &mut st.evaluations);
             if fc < worst.1 {
-                simplex[n] = (contract, fc);
+                st.simplex[n] = (contract, fc);
             } else {
                 // Shrink toward the best point.
-                let best = simplex[0].0.clone();
-                for entry in &mut simplex[1..] {
+                let best = st.simplex[0].0.clone();
+                for entry in &mut st.simplex[1..] {
                     let x: Vec<f64> =
                         best.iter().zip(&entry.0).map(|(b, v)| b + sigma * (v - b)).collect();
-                    let fx = eval(&x, &mut evals);
+                    let fx = eval(&x, &mut st.evaluations);
                     *entry = (x, fx);
                 }
             }
         }
+        on_iter(&st);
     }
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    let (x, fx) = simplex.swap_remove(0);
-    OptimResult { x, fx, evaluations: evals, iterations }
+    st.simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let (x, fx) = st.simplex.swap_remove(0);
+    OptimResult { x, fx, evaluations: st.evaluations, iterations: st.iterations }
 }
 
 #[cfg(test)]
@@ -160,6 +206,54 @@ mod tests {
         let mut f = |_: &[f64]| 1.0; // flat objective
         let r = nelder_mead(&mut f, &[0.0, 0.0], 1.0, 1000, 1e-9);
         assert!(r.iterations <= 2, "flat function should converge immediately");
+    }
+
+    #[test]
+    fn resumable_matches_uninterrupted_bitwise() {
+        fn rosenbrock(x: &[f64]) -> f64 {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        }
+        let x0 = [-1.2, 1.0];
+        let full = nelder_mead(&mut |x| rosenbrock(x), &x0, 0.5, 300, 1e-14);
+        for cut in [1usize, 7, 50, 150, 300] {
+            // Capture the optimizer state after `cut` cycles, as a
+            // checkpoint written right before a crash would hold it.
+            let mut snap: Option<NmState> = None;
+            nelder_mead_resumable(
+                &mut |x| rosenbrock(x),
+                &x0,
+                0.5,
+                cut,
+                1e-14,
+                &|| false,
+                None,
+                &mut |st| {
+                    if st.iterations == cut {
+                        snap = Some(st.clone());
+                    }
+                },
+            );
+            let Some(snap) = snap else {
+                // Converged before `cut` cycles: nothing left to resume.
+                continue;
+            };
+            let resumed = nelder_mead_resumable(
+                &mut |x| rosenbrock(x),
+                &x0,
+                0.5,
+                300,
+                1e-14,
+                &|| false,
+                Some(snap),
+                &mut |_| {},
+            );
+            assert_eq!(resumed.iterations, full.iterations, "cut {cut}");
+            assert_eq!(resumed.evaluations, full.evaluations, "cut {cut}");
+            assert_eq!(resumed.fx.to_bits(), full.fx.to_bits(), "cut {cut}");
+            for (a, b) in resumed.x.iter().zip(&full.x) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cut {cut}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::analytic::qaoa1_expectation;
 use crate::coupling::CouplingMap;
 use crate::gates::{Circuit, Gate};
 use crate::noise::CircuitNoise;
-use crate::optim::nelder_mead_with_stop;
+use crate::optim::{nelder_mead_resumable, NmState};
 use crate::state::StateVector;
 use crate::transpile::{transpile, Transpiled};
 use nck_cancel::CancelToken;
@@ -219,6 +219,29 @@ impl GateModelDevice {
         seed: u64,
         cancel: &CancelToken,
     ) -> Result<QaoaRun, QaoaError> {
+        self.run_qaoa_resumable(qubo, layers, shots, max_iter, seed, cancel, None, &mut |_| {})
+    }
+
+    /// [`run_qaoa_cancellable`](Self::run_qaoa_cancellable) with
+    /// checkpoint/resume of the classical optimizer loop. `on_iter`
+    /// fires after every reflection cycle with the optimizer's full
+    /// [`NmState`] (the paper's per-job unit), and passing a restored
+    /// state continues the run exactly where it died: the optimizer is
+    /// deterministic and the final sampling job reseeds from `seed`
+    /// alone, so a resumed run's [`QaoaRun`] is bit-identical to an
+    /// uninterrupted one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_qaoa_resumable(
+        &self,
+        qubo: &Qubo,
+        layers: usize,
+        shots: usize,
+        max_iter: usize,
+        seed: u64,
+        cancel: &CancelToken,
+        state: Option<NmState>,
+        on_iter: &mut dyn FnMut(&NmState),
+    ) -> Result<QaoaRun, QaoaError> {
         assert!(layers >= 1, "need at least one QAOA layer");
         let n = qubo.num_vars();
         if n > self.coupling.num_qubits() {
@@ -262,9 +285,16 @@ impl GateModelDevice {
         let mut x0 = Vec::with_capacity(2 * layers);
         x0.extend((0..layers).map(|l| 0.4 + 0.05 * l as f64)); // betas
         x0.extend((0..layers).map(|l| -0.4 - 0.05 * l as f64)); // gammas
-        let opt = nelder_mead_with_stop(&mut evaluate, &x0, 0.3, max_iter, 1e-7, &|| {
-            cancel.is_cancelled()
-        });
+        let opt = nelder_mead_resumable(
+            &mut evaluate,
+            &x0,
+            0.3,
+            max_iter,
+            1e-7,
+            &|| cancel.is_cancelled(),
+            state,
+            on_iter,
+        );
         let (betas, gammas) = opt.x.split_at(layers);
         // Final sampling job.
         let mut rng = StdRng::seed_from_u64(seed);
@@ -440,6 +470,40 @@ mod tests {
         let p1 = dev.run_qaoa(&edge_qubo(), 1, 256, 60, 3).unwrap();
         let p2 = dev.run_qaoa(&edge_qubo(), 2, 256, 80, 3).unwrap();
         assert!(p2.expectation <= p1.expectation + 1e-6);
+    }
+
+    #[test]
+    fn resumable_qaoa_matches_uninterrupted() {
+        let dev = GateModelDevice::ideal(4);
+        let q = edge_qubo();
+        let cancel = CancelToken::never();
+        let full = dev.run_qaoa(&q, 2, 128, 40, 7).unwrap();
+        for cut in [1usize, 3, 10] {
+            // Capture the optimizer state a crash after `cut` jobs
+            // would have persisted.
+            let mut snap: Option<NmState> = None;
+            dev.run_qaoa_resumable(&q, 2, 128, 40, 7, &cancel, None, &mut |st| {
+                if st.iterations == cut {
+                    snap = Some(st.clone());
+                }
+            })
+            .unwrap();
+            let Some(snap) = snap else { continue };
+            let resumed = dev
+                .run_qaoa_resumable(&q, 2, 128, 40, 7, &cancel, Some(snap), &mut |_| {})
+                .unwrap();
+            assert_eq!(resumed.best_assignment, full.best_assignment, "cut {cut}");
+            assert_eq!(resumed.best_energy.to_bits(), full.best_energy.to_bits(), "cut {cut}");
+            assert_eq!(resumed.expectation.to_bits(), full.expectation.to_bits(), "cut {cut}");
+            assert_eq!(resumed.num_jobs, full.num_jobs, "cut {cut}");
+            assert_eq!(resumed.estimated_time, full.estimated_time, "cut {cut}");
+            for (a, b) in resumed.betas.iter().zip(&full.betas) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cut {cut}");
+            }
+            for (a, b) in resumed.gammas.iter().zip(&full.gammas) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cut {cut}");
+            }
+        }
     }
 
     #[test]

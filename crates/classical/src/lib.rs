@@ -28,6 +28,7 @@ pub use brute::{solve_brute, BruteResult};
 pub use classify::OptimalityOracle;
 pub use qubo_bb::{minimize, QuboBbOptions, QuboBbResult, QuboBbStats};
 pub use solver::{
-    max_soft_satisfiable, solve, solve_cancellable, SolveOutcome, SolveStats, SolverOptions,
+    max_soft_satisfiable, solve, solve_cancellable, solve_resumable, Incumbent, SolveOutcome,
+    SolveStats, SolverOptions,
 };
 pub use tabu::{tabu_search, TabuOptions, TabuResult};

@@ -132,6 +132,42 @@ pub fn solve_cancellable(
     opts: &SolverOptions,
     cancel: &CancelToken,
 ) -> (SolveOutcome, SolveStats) {
+    solve_resumable(program, opts, cancel, None, &mut |_| {})
+}
+
+/// A checkpointable incumbent: the best feasible assignment a run has
+/// proven so far, with the violated-soft-weight bound it establishes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Incumbent {
+    /// The feasible assignment (indexed by variable id).
+    pub assignment: Vec<bool>,
+    /// Soft constraints it satisfies.
+    pub soft_satisfied: usize,
+    /// Total weight of satisfied soft constraints.
+    pub soft_weight: u64,
+    /// Total weight of violated soft constraints — the branch-and-bound
+    /// pruning bound this incumbent establishes.
+    pub violated_weight: u64,
+}
+
+/// [`solve_cancellable`] with incumbent checkpoint/resume. `on_incumbent`
+/// fires whenever the search records a strictly better feasible
+/// assignment; a restored incumbent seeds both the answer-so-far and
+/// the pruning bound, so a resumed search never re-proves what the
+/// crashed run already established. Because bounds only tighten, a
+/// resumed-from-incumbent search reaches the same optimal solution an
+/// uninterrupted run does (node counts may differ — the restored bound
+/// prunes harder).
+///
+/// A restored incumbent whose assignment length does not match the
+/// program is ignored (it belongs to some other problem).
+pub fn solve_resumable(
+    program: &Program,
+    opts: &SolverOptions,
+    cancel: &CancelToken,
+    restored: Option<Incumbent>,
+    on_incumbent: &mut dyn FnMut(&Incumbent),
+) -> (SolveOutcome, SolveStats) {
     let start = Instant::now();
     let n = program.num_vars();
     let constraints = program.constraints();
@@ -169,14 +205,20 @@ pub fn solve_cancellable(
         cancel,
         opts: *opts,
     };
+    let (best, best_violations) = match restored {
+        Some(inc) if inc.assignment.len() == n => {
+            ((Some((inc.assignment, inc.soft_satisfied, inc.soft_weight))), inc.violated_weight)
+        }
+        _ => (None, u64::MAX),
+    };
     let mut state = State {
         assigned: vec![None; n],
         count: vec![0; constraints.len()],
         remaining: constraints.iter().map(|c| c.cardinality()).collect(),
         status: vec![Status::Open; constraints.len()],
         violated_soft: 0,
-        best_violations: u64::MAX,
-        best: None,
+        best_violations,
+        best,
         stats: SolveStats::default(),
     };
     // Initial status scan: constraints may be decided before any
@@ -188,7 +230,7 @@ pub fn solve_cancellable(
             return (SolveOutcome::Unsatisfiable, state.stats);
         }
     }
-    search(&ctx, &mut state);
+    search(&ctx, &mut state, on_incumbent);
     state.stats.elapsed = start.elapsed();
     let outcome = match state.best.take() {
         Some((assignment, soft, weight)) => {
@@ -378,8 +420,11 @@ fn matching_bound(ctx: &Ctx<'_>, state: &State, used: &mut [bool]) -> u64 {
             continue;
         }
         // The forced TRUEs each violate at least the cheapest member's
-        // prefer-false weight.
-        let min_w = unassigned.iter().map(|&v| ctx.prefer_false[v]).min().unwrap();
+        // prefer-false weight. (`unassigned` was checked non-empty
+        // above; the let-else keeps this hot path panic-free anyway.)
+        let Some(min_w) = unassigned.iter().map(|&v| ctx.prefer_false[v]).min() else {
+            continue;
+        };
         for &v in &unassigned {
             used[v] = true;
         }
@@ -388,7 +433,7 @@ fn matching_bound(ctx: &Ctx<'_>, state: &State, used: &mut [bool]) -> u64 {
     extra
 }
 
-fn search(ctx: &Ctx<'_>, state: &mut State) {
+fn search(ctx: &Ctx<'_>, state: &mut State, on_incumbent: &mut dyn FnMut(&Incumbent)) {
     state.stats.nodes += 1;
     if state.stats.nodes > ctx.opts.node_limit
         || (state.stats.nodes.is_multiple_of(CANCEL_POLL_NODES) && ctx.cancel.is_cancelled())
@@ -412,9 +457,17 @@ fn search(ctx: &Ctx<'_>, state: &mut State) {
     let Some(var) = next else {
         // Full assignment. No hard constraint is Violated (conflicts
         // prune earlier), so this is feasible; record if it improves.
+        // Every slot is Some here (no unassigned var was found), so the
+        // unwrap_or default can never actually be read.
         state.best_violations = state.violated_soft;
-        let assignment: Vec<bool> = state.assigned.iter().map(|a| a.unwrap()).collect();
+        let assignment: Vec<bool> = state.assigned.iter().map(|a| a.unwrap_or(false)).collect();
         let ev = ctx.program.evaluate(&assignment);
+        on_incumbent(&Incumbent {
+            assignment: assignment.clone(),
+            soft_satisfied: ev.soft_satisfied,
+            soft_weight: ev.soft_weight_satisfied,
+            violated_weight: state.violated_soft,
+        });
         state.best = Some((assignment, ev.soft_satisfied, ev.soft_weight_satisfied));
         return;
     };
@@ -424,7 +477,7 @@ fn search(ctx: &Ctx<'_>, state: &mut State) {
         if assign(ctx, state, &mut trail, &mut undo_vars, var, value)
             && propagate(ctx, state, &mut trail, &mut undo_vars, var)
         {
-            search(ctx, state);
+            search(ctx, state, on_incumbent);
         }
         undo(ctx, state, &mut trail, &mut undo_vars);
         if state.stats.truncated {
@@ -571,6 +624,59 @@ mod tests {
         if let SolveOutcome::Solved { assignment, .. } = outcome {
             assert!(p.all_hard_satisfied(&assignment));
         }
+    }
+
+    #[test]
+    fn resume_from_incumbent_reaches_the_same_optimum() {
+        // A soft-heavy instance with a nontrivial search: capture every
+        // incumbent, then resume from each and check the final answer
+        // matches the uninterrupted solve on all solution fields.
+        let mut p = Program::new();
+        let vs = p.new_vars("v", 12).unwrap();
+        for (u, w) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (5, 6), (6, 7), (0, 5)] {
+            p.nck(vec![vs[u], vs[w]], [1, 2]).unwrap();
+        }
+        for &v in &vs {
+            p.nck_soft(vec![v], [0]).unwrap();
+        }
+        let token = CancelToken::never();
+        let mut incumbents: Vec<Incumbent> = Vec::new();
+        let (full, full_stats) =
+            solve_resumable(&p, &SolverOptions::default(), &token, None, &mut |inc| {
+                incumbents.push(inc.clone())
+            });
+        assert!(!full_stats.truncated);
+        assert!(!incumbents.is_empty(), "expected at least one incumbent");
+        // Bounds must strictly tighten along the incumbent sequence.
+        for w in incumbents.windows(2) {
+            assert!(w[1].violated_weight < w[0].violated_weight);
+        }
+        for inc in incumbents {
+            let (resumed, stats) =
+                solve_resumable(&p, &SolverOptions::default(), &token, Some(inc), &mut |_| {});
+            assert!(!stats.truncated);
+            match (&resumed, &full) {
+                (
+                    SolveOutcome::Solved { soft_satisfied: a, soft_weight: b, assignment: x },
+                    SolveOutcome::Solved { soft_satisfied: c, soft_weight: d, .. },
+                ) => {
+                    assert_eq!(a, c);
+                    assert_eq!(b, d);
+                    assert!(p.all_hard_satisfied(x));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // A mismatched incumbent (wrong problem) is ignored, not used.
+        let bogus = Incumbent {
+            assignment: vec![true; 3],
+            soft_satisfied: 99,
+            soft_weight: 99,
+            violated_weight: 0,
+        };
+        let (resumed, _) =
+            solve_resumable(&p, &SolverOptions::default(), &token, Some(bogus), &mut |_| {});
+        assert_eq!(resumed, full);
     }
 
     #[test]

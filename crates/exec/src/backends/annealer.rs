@@ -2,6 +2,7 @@
 //! embedding cache and a typed retry/fallback policy.
 
 use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
+use crate::durable::{decode_anneal_progress, encode_anneal_progress};
 use crate::error::{ExecError, FaultKind};
 use crate::fault::FaultInjection;
 use crate::journal::{JournalKind, RunCtx};
@@ -157,13 +158,40 @@ impl Backend for AnnealerBackend {
             });
         }
         let t = Instant::now();
-        let result = self.device.sample_qubo_embedded_cancellable(
-            qubo,
-            &embedding,
-            self.num_reads,
-            seed,
-            &ctx.cancel,
-        )?;
+        let interval = ctx.ckpt.interval();
+        let result = if interval == 0 {
+            self.device.sample_qubo_embedded_cancellable(
+                qubo,
+                &embedding,
+                self.num_reads,
+                seed,
+                &ctx.cancel,
+            )?
+        } else {
+            // Durable run: restore the interrupted job's completed
+            // reads (if any) and checkpoint every `interval` reads so
+            // a crash loses at most one chunk of sampling work.
+            let (skip, restored) = ctx
+                .ckpt
+                .load("annealer")
+                .and_then(|buf| decode_anneal_progress(&buf))
+                .unwrap_or_default();
+            let skip = skip.min(self.num_reads);
+            let ckpt = std::sync::Arc::clone(&ctx.ckpt);
+            self.device.sample_qubo_embedded_resumable(
+                qubo,
+                &embedding,
+                self.num_reads,
+                seed,
+                skip,
+                restored,
+                interval as usize,
+                &ctx.cancel,
+                &mut |done, samples| {
+                    ckpt.save("annealer", &encode_anneal_progress(done, samples));
+                },
+            )?
+        };
         ctx.stages.sample = t.elapsed();
         if ctx.cancel.is_cancelled() {
             if result.samples.is_empty() {

@@ -2,10 +2,14 @@
 //! with the analytic-evaluator fallback policy.
 
 use crate::backend::{Backend, BackendMetrics, Candidates, Prepared};
+use crate::durable::{decode_nm_state, encode_nm_state};
 use crate::error::ExecError;
 use crate::fault::FaultInjection;
 use crate::journal::{JournalKind, RunCtx};
-use nck_circuit::{GateModelDevice, QaoaError};
+use nck_cancel::{CancelToken, Checkpointer};
+use nck_circuit::{GateModelDevice, NmState, QaoaError, QaoaRun};
+use nck_qubo::Qubo;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Largest register the packed final-sampling path can draw from.
@@ -56,6 +60,50 @@ impl GateModelBackend {
         self.faults = faults;
         self
     }
+
+    /// Run QAOA at depth `layers`, checkpointing the optimizer iterate
+    /// through `ckpt` when the run is durable (interval > 0). A
+    /// restored state is only handed to the optimizer when its simplex
+    /// matches this depth's parameter dimension — a checkpoint taken
+    /// at p = 3 must not seed the p = 1 fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn qaoa(
+        &self,
+        qubo: &Qubo,
+        layers: usize,
+        seed: u64,
+        cancel: &CancelToken,
+        ckpt: &Arc<dyn Checkpointer>,
+        restored: Option<NmState>,
+    ) -> Result<QaoaRun, QaoaError> {
+        let interval = ckpt.interval();
+        if interval == 0 {
+            return self.device.run_qaoa_cancellable(
+                qubo,
+                layers,
+                self.shots,
+                self.max_iter,
+                seed,
+                cancel,
+            );
+        }
+        let state = restored.filter(|s| s.simplex.len() == 2 * layers + 1);
+        let sink = Arc::clone(ckpt);
+        self.device.run_qaoa_resumable(
+            qubo,
+            layers,
+            self.shots,
+            self.max_iter,
+            seed,
+            cancel,
+            state,
+            &mut |s: &NmState| {
+                if (s.iterations as u64).is_multiple_of(interval) {
+                    sink.save("gate", &encode_nm_state(s));
+                }
+            },
+        )
+    }
 }
 
 impl Backend for GateModelBackend {
@@ -77,19 +125,13 @@ impl Backend for GateModelBackend {
         self.faults.apply_sample_faults(ctx)?;
         let qubo = &prepared.compiled.qubo;
         let t = Instant::now();
+        let restored = ctx.ckpt.load("gate").and_then(|buf| decode_nm_state(&buf));
         // Injected fault: report the first attempt as a state-vector
         // overflow so the fallback policy below runs deterministically.
         let first = if self.faults.qaoa_overflow {
             Err(QaoaError::TooLargeToSimulate { needed: n, sim_limit: 0 })
         } else {
-            self.device.run_qaoa_cancellable(
-                qubo,
-                self.layers,
-                self.shots,
-                self.max_iter,
-                seed,
-                &ctx.cancel,
-            )
+            self.qaoa(qubo, self.layers, seed, &ctx.cancel, &ctx.ckpt, restored.clone())
         };
         let run = match first {
             Ok(r) => r,
@@ -99,14 +141,7 @@ impl Backend for GateModelBackend {
                 ctx.note_suppressed(e.into());
                 ctx.note(JournalKind::FallbackTaken { what: "analytic p=1 QAOA" });
                 ctx.stages.fallbacks += 1;
-                self.device.run_qaoa_cancellable(
-                    qubo,
-                    1,
-                    self.shots,
-                    self.max_iter,
-                    seed,
-                    &ctx.cancel,
-                )?
+                self.qaoa(qubo, 1, seed, &ctx.cancel, &ctx.ckpt, restored)?
             }
             Err(e) => return Err(e.into()),
         };

@@ -16,6 +16,8 @@
 use nck_anneal::AnnealError;
 use nck_circuit::QaoaError;
 use nck_compile::CompileError;
+use nck_qubo::QuboIoError;
+use nck_store::StoreError;
 use std::fmt;
 
 /// The kind of substrate fault behind an
@@ -99,6 +101,17 @@ pub enum ExecError {
         /// `"deadline"`).
         what: &'static str,
     },
+    /// The durable run store failed (I/O error, corrupt file, or a
+    /// simulated crash from the kill-point harness).
+    Store(StoreError),
+    /// A `.qubo` input document failed to parse.
+    QuboIo(QuboIoError),
+    /// A resume pointed at a run directory whose journal already ends
+    /// in a terminal event; there is nothing left to execute.
+    AlreadyFinished {
+        /// The run directory.
+        dir: String,
+    },
 }
 
 impl ExecError {
@@ -145,6 +158,11 @@ impl fmt::Display for ExecError {
             ExecError::BudgetExhausted { what } => {
                 write!(f, "run budget exhausted: {what}")
             }
+            ExecError::Store(e) => write!(f, "durable store error: {e}"),
+            ExecError::QuboIo(e) => write!(f, "qubo input error: {e}"),
+            ExecError::AlreadyFinished { dir } => {
+                write!(f, "run in {dir} already finished; nothing to resume")
+            }
         }
     }
 }
@@ -164,6 +182,16 @@ impl From<AnnealError> for ExecError {
 impl From<QaoaError> for ExecError {
     fn from(e: QaoaError) -> Self {
         ExecError::Qaoa(e)
+    }
+}
+impl From<StoreError> for ExecError {
+    fn from(e: StoreError) -> Self {
+        ExecError::Store(e)
+    }
+}
+impl From<QuboIoError> for ExecError {
+    fn from(e: QuboIoError) -> Self {
+        ExecError::QuboIo(e)
     }
 }
 

@@ -10,12 +10,13 @@
 
 use crate::error::ExecError;
 use crate::stage::StageTimings;
-use nck_cancel::CancelToken;
+use nck_cancel::{CancelToken, Checkpointer, NoopCheckpointer};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One journaled event inside a (possibly supervised) execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JournalEvent {
     /// Wall-clock offset from the start of the run (the supervised
     /// run's start when supervised; the attempt's start otherwise).
@@ -29,7 +30,7 @@ pub struct JournalEvent {
 }
 
 /// The event vocabulary of a [`RunJournal`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum JournalKind {
     /// An attempt on a backend began.
     AttemptStarted,
@@ -119,7 +120,7 @@ impl fmt::Display for JournalEvent {
 
 /// The structured journal of one execution. Empty for unsupervised
 /// fault-free runs (no allocation).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunJournal {
     /// Events in chronological order.
     pub events: Vec<JournalEvent>,
@@ -170,7 +171,6 @@ impl RunJournal {
 /// attempt-aware).
 ///
 /// [`Backend::run`]: crate::Backend::run
-#[derive(Debug)]
 pub struct RunCtx {
     /// Per-stage wall-times and counters for this attempt.
     pub stages: StageTimings,
@@ -178,6 +178,9 @@ pub struct RunCtx {
     pub journal: RunJournal,
     /// Cooperative cancellation token every hot loop polls.
     pub cancel: CancelToken,
+    /// Mid-solve checkpoint sink. [`NoopCheckpointer`] (interval 0) for
+    /// plain runs; the supervisor's durable sink for `--run-dir` runs.
+    pub ckpt: Arc<dyn Checkpointer>,
     /// Attempt index on this backend (0 on the first try).
     pub attempt: u32,
     /// Name of the backend executing the attempt.
@@ -187,6 +190,19 @@ pub struct RunCtx {
     started: Instant,
 }
 
+impl fmt::Debug for RunCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunCtx")
+            .field("stages", &self.stages)
+            .field("journal", &self.journal)
+            .field("cancel", &self.cancel)
+            .field("attempt", &self.attempt)
+            .field("backend", &self.backend)
+            .field("stage", &self.stage)
+            .finish_non_exhaustive()
+    }
+}
+
 impl RunCtx {
     /// A context for one attempt on `backend`.
     pub fn new(backend: &'static str, cancel: CancelToken, attempt: u32, started: Instant) -> Self {
@@ -194,11 +210,18 @@ impl RunCtx {
             stages: StageTimings { attempt, ..StageTimings::default() },
             journal: RunJournal::default(),
             cancel,
+            ckpt: Arc::new(NoopCheckpointer),
             attempt,
             backend,
             stage: "compile",
             started,
         }
+    }
+
+    /// The same context with a mid-solve checkpoint sink attached.
+    pub fn with_checkpointer(mut self, ckpt: Arc<dyn Checkpointer>) -> Self {
+        self.ckpt = ckpt;
+        self
     }
 
     /// A plain context: never cancelled, first attempt, clock starting

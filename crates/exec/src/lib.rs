@@ -51,6 +51,7 @@ pub mod backend;
 pub mod backends;
 pub mod breaker;
 pub mod budget;
+pub mod durable;
 pub mod error;
 pub mod fault;
 pub mod journal;
@@ -65,10 +66,12 @@ pub use backends::{
 };
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use budget::{RetryPolicy, RunBudget};
+pub use durable::{DurableRun, Record, RecoveredRun, DEFAULT_CHECKPOINT_INTERVAL};
 pub use error::{ExecError, FailedAttempt, FaultKind};
 pub use fault::FaultInjection;
 pub use journal::{JournalEvent, JournalKind, RunCtx, RunJournal};
-pub use nck_cancel::CancelToken;
+pub use nck_cancel::{CancelToken, Checkpointer, NoopCheckpointer};
+pub use nck_store::{KillPoint, KillSpec, Recovered, RunStore, StoreError};
 pub use plan::{ExecReport, ExecutionPlan, PlanStats, Tally};
 pub use stage::{StageOutcome, StageTimings};
 pub use supervisor::{SupervisedFailure, Supervisor};

@@ -1,0 +1,85 @@
+//! Typed store failures.
+//!
+//! Everything the store can report is `Clone + PartialEq` so the
+//! execution layer can embed a [`StoreError`] inside its own error
+//! enum and tests can match on exact failure shapes. I/O errors are
+//! captured as (operation, path, kind) rather than carrying
+//! `std::io::Error` (which is neither `Clone` nor `PartialEq`).
+
+use std::fmt;
+
+/// Errors from the durable run store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io {
+        /// The store operation that failed (`"open"`, `"append"`, …).
+        op: &'static str,
+        /// File or directory involved.
+        path: String,
+        /// `std::io::ErrorKind` of the failure, stringified.
+        kind: String,
+    },
+    /// A store file failed validation: bad magic, bad CRC, an
+    /// impossible frame length. Recovery *rejects* corrupt snapshots
+    /// and *truncates* corrupt WAL tails; it never panics.
+    Corrupt {
+        /// File that failed validation.
+        path: String,
+        /// Byte offset of the first invalid content.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A deterministic kill-point fired: the store simulated a process
+    /// crash at this operation and is now permanently dead.
+    Killed {
+        /// Which kill-point fired.
+        point: &'static str,
+    },
+    /// The store was used after it died (a kill-point or an I/O
+    /// failure); no further operation can succeed.
+    Dead,
+    /// A fresh run was requested on a directory that already holds one.
+    NotEmpty {
+        /// The offending run directory.
+        path: String,
+    },
+    /// A resume was requested on a directory with no run in it.
+    NoRun {
+        /// The empty run directory.
+        path: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, kind } => {
+                write!(f, "store {op} failed on {path}: {kind}")
+            }
+            StoreError::Corrupt { path, offset, reason } => {
+                write!(f, "corrupt store file {path} at byte {offset}: {reason}")
+            }
+            StoreError::Killed { point } => {
+                write!(f, "store killed at deterministic crash point: {point}")
+            }
+            StoreError::Dead => write!(f, "store is dead (crashed earlier); reopen to recover"),
+            StoreError::NotEmpty { path } => {
+                write!(f, "run directory {path} already holds a run (use resume)")
+            }
+            StoreError::NoRun { path } => {
+                write!(f, "run directory {path} holds no run to resume")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// Capture an `std::io::Error` as a cloneable, comparable record.
+    pub fn io(op: &'static str, path: &std::path::Path, e: &std::io::Error) -> Self {
+        StoreError::Io { op, path: path.display().to_string(), kind: e.kind().to_string() }
+    }
+}

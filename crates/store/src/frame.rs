@@ -1,0 +1,187 @@
+//! CRC32-framed records: the unit of both the WAL and the snapshot
+//! payload.
+//!
+//! Wire format of one frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE 802.3 polynomial, the zlib/qbsolv-era
+//! standard) of the payload alone. A reader accepts a frame only when
+//! the full header is present, `len` is sane, the payload is complete,
+//! and the checksum matches — anything else is a *torn tail* (the
+//! crash left a partial write) or corruption, and scanning stops at
+//! the last fully valid frame. Decoding never panics.
+
+/// Upper bound on a single frame payload. A corrupt length field must
+/// not drive a multi-gigabyte allocation; real records (journal
+/// events, solver checkpoints) are kilobytes.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Frame header size: length + checksum.
+pub const HEADER_LEN: usize = 8;
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Encode one frame: header plus payload.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why a frame scan stopped before the end of the buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanStop {
+    /// The buffer ended exactly on a frame boundary: nothing wrong.
+    Clean,
+    /// Fewer than [`HEADER_LEN`] bytes remained — a torn header.
+    TornHeader,
+    /// The header declared more payload than the buffer holds — a torn
+    /// payload.
+    TornPayload,
+    /// The payload checksum did not match — bit rot or a torn write
+    /// that happened to leave the right length.
+    BadChecksum,
+    /// The declared length exceeded [`MAX_FRAME_LEN`] — corruption, not
+    /// a real record.
+    ImplausibleLength,
+}
+
+/// Result of scanning a byte buffer for consecutive frames.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameScan {
+    /// Every fully valid payload, in order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Bytes consumed by valid frames (the truncate-to point).
+    pub valid_len: usize,
+    /// Why the scan stopped.
+    pub stop: ScanStop,
+}
+
+/// Scan `bytes` for consecutive frames, stopping at the first invalid
+/// one. The caller truncates its file to `valid_len` to recover from a
+/// torn tail. Never panics, whatever the input.
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    let stop = loop {
+        if pos == bytes.len() {
+            break ScanStop::Clean;
+        }
+        if bytes.len() - pos < HEADER_LEN {
+            break ScanStop::TornHeader;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        let crc =
+            u32::from_le_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
+        if len > MAX_FRAME_LEN {
+            break ScanStop::ImplausibleLength;
+        }
+        let len = len as usize;
+        if bytes.len() - pos - HEADER_LEN < len {
+            break ScanStop::TornPayload;
+        }
+        let payload = &bytes[pos + HEADER_LEN..pos + HEADER_LEN + len];
+        if crc32(payload) != crc {
+            break ScanStop::BadChecksum;
+        }
+        payloads.push(payload.to_vec());
+        pos += HEADER_LEN + len;
+    };
+    FrameScan { payloads, valid_len: pos, stop }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_frames() {
+        let mut buf = Vec::new();
+        let records: Vec<&[u8]> = vec![b"", b"a", b"hello world", &[0xff; 300]];
+        for r in &records {
+            buf.extend_from_slice(&encode_frame(r));
+        }
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.stop, ScanStop::Clean);
+        assert_eq!(scan.valid_len, buf.len());
+        assert_eq!(scan.payloads, records.iter().map(|r| r.to_vec()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid() {
+        let mut buf = encode_frame(b"first");
+        let keep = buf.len();
+        let second = encode_frame(b"second-record");
+        buf.extend_from_slice(&second[..second.len() - 3]); // torn payload
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.stop, ScanStop::TornPayload);
+        assert_eq!(scan.valid_len, keep);
+        assert_eq!(scan.payloads.len(), 1);
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let mut buf = encode_frame(b"sensitive payload");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.stop, ScanStop::BadChecksum);
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.payloads.is_empty());
+    }
+
+    #[test]
+    fn implausible_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.stop, ScanStop::ImplausibleLength);
+    }
+
+    #[test]
+    fn torn_header_stops_cleanly() {
+        let mut buf = encode_frame(b"ok");
+        buf.extend_from_slice(&[1, 2, 3]); // 3 stray bytes
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.stop, ScanStop::TornHeader);
+        assert_eq!(scan.payloads.len(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Deterministic crash points for the recovery harness.
+//!
+//! A [`KillSpec`] armed on a [`RunStore`](crate::RunStore) makes the
+//! store simulate a process crash at a precise durability-relevant
+//! instant: the partial on-disk effect of that crash is produced, the
+//! operation returns [`StoreError::Killed`](crate::StoreError::Killed),
+//! and every later operation returns
+//! [`StoreError::Dead`](crate::StoreError::Dead). The harness then
+//! reopens the directory and asserts recovery.
+
+/// Where the simulated crash lands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillPoint {
+    /// The WAL frame was written but the page cache was never flushed:
+    /// after the crash the record does not exist on disk.
+    CrashBeforeFsync,
+    /// Only a prefix of the WAL frame reached disk: recovery must
+    /// truncate the torn tail back to the last valid frame.
+    CrashMidFrame,
+    /// The snapshot was renamed into place but the process died before
+    /// truncating the WAL: recovery must ignore WAL records the
+    /// snapshot already covers.
+    CrashBetweenSnapshotAndTruncate,
+}
+
+impl KillPoint {
+    /// Stable name, used in error payloads and harness reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KillPoint::CrashBeforeFsync => "crash-before-fsync",
+            KillPoint::CrashMidFrame => "crash-mid-frame",
+            KillPoint::CrashBetweenSnapshotAndTruncate => "crash-between-snapshot-and-truncate",
+        }
+    }
+
+    /// All kill-points, for exhaustive harness sweeps.
+    pub fn all() -> [KillPoint; 3] {
+        [
+            KillPoint::CrashBeforeFsync,
+            KillPoint::CrashMidFrame,
+            KillPoint::CrashBetweenSnapshotAndTruncate,
+        ]
+    }
+}
+
+/// A kill-point armed to fire at a specific operation.
+///
+/// `at_op` is 1-based and counts the operations the point applies to:
+/// appends for the two append-side points, snapshots for
+/// [`KillPoint::CrashBetweenSnapshotAndTruncate`]. `at_op: 3` on
+/// `CrashMidFrame` means "the third append tears mid-frame".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Which crash to simulate.
+    pub point: KillPoint,
+    /// 1-based index of the triggering operation.
+    pub at_op: u64,
+}

@@ -1,0 +1,252 @@
+//! Property tests for the durability layer: WAL frame encode/decode
+//! round-trips, snapshot serialization, and the recovery invariants —
+//! truncated tails truncate, bit flips are detected, and no input
+//! whatsoever makes the decoder panic.
+
+#![allow(clippy::unwrap_used)]
+
+use nck_store::{
+    crc32, encode_frame, load_snapshot, save_snapshot, scan_frames, RunStore, ScanStop, WAL_FILE,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn arb_record() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..200)
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(arb_record(), 0..12)
+}
+
+proptest! {
+    /// Encoding any record sequence and scanning it back yields the
+    /// same records with a clean stop.
+    #[test]
+    fn frames_round_trip(records in arb_records()) {
+        let mut buf = Vec::new();
+        for r in &records {
+            buf.extend_from_slice(&encode_frame(r));
+        }
+        let scan = scan_frames(&buf);
+        prop_assert_eq!(scan.stop, ScanStop::Clean);
+        prop_assert_eq!(scan.valid_len, buf.len());
+        prop_assert_eq!(scan.payloads, records);
+    }
+
+    /// Scanning arbitrary bytes never panics, and the reported valid
+    /// prefix always re-scans clean.
+    #[test]
+    fn scanning_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let scan = scan_frames(&bytes);
+        let again = scan_frames(&bytes[..scan.valid_len]);
+        prop_assert_eq!(again.stop, ScanStop::Clean);
+        prop_assert_eq!(again.payloads.len(), scan.payloads.len());
+    }
+
+    /// Truncating a valid stream anywhere keeps every frame before the
+    /// cut and reports a torn (or clean) stop — never a panic.
+    #[test]
+    fn truncated_tails_keep_the_valid_prefix(records in arb_records(), cut_raw in any::<usize>()) {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            buf.extend_from_slice(&encode_frame(r));
+            boundaries.push(buf.len());
+        }
+        let cut = cut_raw % (buf.len() + 1);
+        let scan = scan_frames(&buf[..cut]);
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert!(scan.payloads.len() >= whole.saturating_sub(0) || scan.payloads.len() == whole);
+        prop_assert!(scan.valid_len <= cut);
+    }
+
+    /// Any single bit flip in a one-frame buffer is detected: the scan
+    /// either rejects the frame or (for a length-field flip) reports a
+    /// torn or implausible stop. It never silently accepts altered
+    /// payload bytes as valid.
+    #[test]
+    fn single_bit_flips_never_corrupt_a_payload(record in arb_record(), pos_raw in any::<usize>(), bit in 0u8..8) {
+        let clean = encode_frame(&record);
+        let mut buf = clean.clone();
+        let pos = pos_raw % buf.len();
+        buf[pos] ^= 1 << bit;
+        let scan = scan_frames(&buf);
+        if scan.stop == ScanStop::Clean && scan.payloads.len() == 1 {
+            // A "clean" scan after a flip can only happen if the flip
+            // landed in the length field and produced a self-consistent
+            // frame — impossible with a CRC over the payload unless the
+            // payload it selects still checksums, which requires the
+            // payload to be unchanged.
+            prop_assert_eq!(&scan.payloads[0], &record);
+        }
+    }
+
+    /// Snapshot save/load round-trips covered_seq and state exactly.
+    #[test]
+    fn snapshots_round_trip(covered in any::<u64>(), state in arb_record()) {
+        let dir = sweep_dir("prop-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        save_snapshot(&dir, covered, &state).unwrap();
+        let loaded = load_snapshot(&dir).unwrap();
+        prop_assert_eq!(loaded, Some((covered, state)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn sweep_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nck-store-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Executable deterministic sweeps over the same properties (the
+/// vendored proptest is a type-check-only stub, so these carry the
+/// actual coverage).
+mod deterministic_sweeps {
+    use super::*;
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Pseudo-random byte strings, deterministic per (seed, len).
+    fn record(seed: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| (splitmix64(seed ^ i as u64) & 0xff) as u8).collect()
+    }
+
+    fn corpus(seed: u64) -> Vec<Vec<u8>> {
+        let n = (splitmix64(seed) % 9) as usize;
+        (0..n)
+            .map(|i| {
+                record(
+                    seed.wrapping_mul(31).wrapping_add(i as u64),
+                    (splitmix64(seed ^ i as u64) % 120) as usize,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frames_round_trip_across_a_corpus_sweep() {
+        for seed in 0..64u64 {
+            let records = corpus(seed);
+            let mut buf = Vec::new();
+            for r in &records {
+                buf.extend_from_slice(&encode_frame(r));
+            }
+            let scan = scan_frames(&buf);
+            assert_eq!(scan.stop, ScanStop::Clean, "seed {seed}");
+            assert_eq!(scan.payloads, records, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_the_valid_prefix() {
+        let records = corpus(7);
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            buf.extend_from_slice(&encode_frame(r));
+            boundaries.push(buf.len());
+        }
+        for cut in 0..=buf.len() {
+            let scan = scan_frames(&buf[..cut]);
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(scan.payloads.len(), whole, "cut at {cut}");
+            assert_eq!(scan.valid_len, boundaries[whole], "cut at {cut}");
+            assert_eq!(
+                scan.stop == ScanStop::Clean,
+                cut == boundaries[whole],
+                "cut at {cut} misreported stop {:?}",
+                scan.stop
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected_or_harmless() {
+        let payload = record(99, 64);
+        let clean = encode_frame(&payload);
+        for pos in 0..clean.len() {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[pos] ^= 1 << bit;
+                let scan = scan_frames(&buf);
+                if scan.stop == ScanStop::Clean && scan.payloads.len() == 1 {
+                    assert_eq!(
+                        scan.payloads[0], payload,
+                        "flip at byte {pos} bit {bit} silently altered the payload"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_scans_never_panic_and_prefixes_rescan_clean() {
+        for seed in 0..64u64 {
+            let bytes =
+                record(seed.wrapping_mul(0xd1b5_4a32_d192_ed03), (splitmix64(seed) % 500) as usize);
+            let scan = scan_frames(&bytes);
+            let again = scan_frames(&bytes[..scan.valid_len]);
+            assert_eq!(again.stop, ScanStop::Clean, "seed {seed}");
+            assert_eq!(again.payloads, scan.payloads, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_across_a_state_sweep() {
+        for seed in 0..16u64 {
+            let dir = sweep_dir(&format!("det-snap-{seed}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let covered = splitmix64(seed);
+            let state = record(seed, (splitmix64(seed ^ 1) % 300) as usize);
+            save_snapshot(&dir, covered, &state).unwrap();
+            assert_eq!(load_snapshot(&dir).unwrap(), Some((covered, state)), "seed {seed}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn wal_corruption_at_every_tail_offset_recovers_without_panic() {
+        // Build a real store, then corrupt the WAL tail at every byte
+        // offset past the magic and assert reopen either recovers or
+        // rejects with a typed error — never panics, never loses a
+        // record before the corruption point's last valid frame.
+        let dir = sweep_dir("det-corrupt");
+        let (mut store, _) = RunStore::open(&dir).unwrap();
+        for i in 0..5u8 {
+            store.append(&record(u64::from(i), 40)).unwrap();
+        }
+        drop(store);
+        let wal_path = dir.join(WAL_FILE);
+        let pristine = std::fs::read(&wal_path).unwrap();
+        for cut in 8..=pristine.len() {
+            std::fs::write(&wal_path, &pristine[..cut]).unwrap();
+            let (store, rec) = RunStore::open(&dir).unwrap();
+            drop(store);
+            assert!(rec.records.len() <= 5, "cut {cut}");
+            // Reopening after recovery must be clean.
+            let (_, again) = RunStore::open(&dir).unwrap();
+            assert_eq!(again.records, rec.records, "cut {cut} not idempotent");
+            assert!(!again.recovered_tail, "cut {cut} left a torn tail behind");
+            std::fs::write(&wal_path, &pristine).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc_reference_vectors_hold() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+}

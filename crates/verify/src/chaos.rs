@@ -256,6 +256,7 @@ pub fn run_chaos(scripts: &[FaultScript], seeds: &[u64], cfg: &ChaosConfig) -> C
                         seed,
                         ..RetryPolicy::default()
                     },
+                    ..Supervisor::default()
                 };
                 let tag = format!("chaos/{}/{}/seed{}", script.name, ladder_names.join(">"), seed);
                 let t = Instant::now();

@@ -38,16 +38,24 @@
 //! chain-break storms) across degradation ladders and seeds, asserting
 //! termination within budget, recovery of every recoverable script,
 //! and complete journals on typed failures.
+//!
+//! The [`crash`] module extends it again to durability: every durable
+//! run is killed at every reachable store operation (pre-fsync,
+//! mid-frame, between snapshot and truncate) and resumed, asserting
+//! typed death, exact journal prefixes, no repeated completed rungs,
+//! and convergence to the uninterrupted run's solution.
 
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod crash;
 pub mod gen;
 pub mod harness;
 pub mod invariants;
 pub mod minimize;
 
 pub use chaos::{chaos_scripts, run_chaos, ChaosConfig, ChaosOutcome, Expectation, FaultScript};
+pub use crash::{run_crash_recovery, CrashConfig, CrashOutcome, CRASH_LADDERS};
 pub use gen::{corpus, Family, GeneratedProgram};
 pub use harness::{run_differential, HarnessConfig, HarnessOutcome};
 pub use minimize::minimize_program;

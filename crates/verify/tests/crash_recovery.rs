@@ -1,0 +1,123 @@
+//! The crash-recovery sweep: every durable run killed at every
+//! reachable store operation for every kill point, then resumed and
+//! checked against the durability contract. This is the CI
+//! `crash-recovery` job's entry point.
+
+use nck_exec::{RunStore, StoreError};
+use nck_verify::{run_crash_recovery, CrashConfig, CRASH_LADDERS};
+use std::path::PathBuf;
+
+const SEEDS: [u64; 1] = [11];
+
+/// A unique scratch directory for one test, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "nck-crash-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn crash_kill_point_sweep_resumes_to_the_uninterrupted_result() {
+    let tmp = TempDir::new("sweep");
+    let outcome = run_crash_recovery(&SEEDS, &CrashConfig::default(), &tmp.0);
+    assert!(outcome.discrepancies.is_empty(), "{}", outcome.report());
+    // The sweep must actually have crashed runs at every kill point ×
+    // ladder — a sweep that never kills is vacuous.
+    let min_kills = CRASH_LADDERS.len() * 3;
+    assert!(
+        outcome.kills >= min_kills,
+        "only {} kills across the sweep (expected at least {min_kills})",
+        outcome.kills
+    );
+    // Every kill was resumed to completion.
+    assert_eq!(outcome.resumes, outcome.kills, "{}", outcome.report());
+}
+
+#[test]
+fn crash_recovery_sweep_is_deterministic() {
+    let cfg = CrashConfig::default();
+    let ta = TempDir::new("det-a");
+    let tb = TempDir::new("det-b");
+    let a = run_crash_recovery(&[29], &cfg, &ta.0);
+    let b = run_crash_recovery(&[29], &cfg, &tb.0);
+    assert!(a.discrepancies.is_empty(), "{}", a.report());
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.kills, b.kills);
+    assert_eq!(a.resumes, b.resumes);
+}
+
+/// Corrupting a run store on disk — torn tails, flipped bits,
+/// truncations — must yield recovery or a typed error, never a panic.
+#[test]
+fn crash_corrupted_stores_recover_or_fail_typed_never_panic() {
+    use nck_exec::{ClassicalBackend, ExecutionPlan, Supervisor};
+    use nck_verify::gen::Family;
+
+    let gp = Family::VertexCover.generate(7);
+    let plan = ExecutionPlan::new(&gp.program);
+    let backend = ClassicalBackend::default();
+    let tmp = TempDir::new("corrupt");
+    let pristine = tmp.0.join("pristine");
+    Supervisor::default()
+        .run_durable(&plan, &[&backend], 7, &pristine)
+        .expect("fault-free durable run succeeds");
+
+    let wal = std::fs::read(pristine.join("wal.log")).expect("read wal");
+    let snap = std::fs::read(pristine.join("snapshot.bin")).expect("read snapshot");
+
+    let mut case = 0usize;
+    let mut verdicts = (0usize, 0usize); // (recovered, rejected)
+    let mut check = |wal_bytes: &[u8], snap_bytes: Option<&[u8]>| {
+        case += 1;
+        let dir = tmp.0.join(format!("case-{case}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("wal.log"), wal_bytes).expect("write wal");
+        if let Some(s) = snap_bytes {
+            std::fs::write(dir.join("snapshot.bin"), s).expect("write snapshot");
+        }
+        // Must not panic; every outcome is either a recovery (possibly
+        // with a truncated tail) or a typed store error.
+        match RunStore::open(&dir) {
+            Ok(_) => verdicts.0 += 1,
+            Err(StoreError::Corrupt { .. } | StoreError::Io { .. }) => verdicts.1 += 1,
+            Err(e) => panic!("corrupt store surfaced non-corruption error {e}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    };
+
+    // Truncate the WAL at every prefix length (torn tails).
+    for cut in 0..wal.len() {
+        check(&wal[..cut], Some(&snap));
+    }
+    // Flip one bit at every byte of the WAL.
+    for i in 0..wal.len() {
+        let mut bad = wal.clone();
+        bad[i] ^= 0x40;
+        check(&bad, Some(&snap));
+    }
+    // Truncate and bit-flip the snapshot.
+    for cut in 0..snap.len() {
+        check(&wal, Some(&snap[..cut]));
+    }
+    for i in 0..snap.len() {
+        let mut bad = snap.clone();
+        bad[i] ^= 0x40;
+        check(&wal, Some(&bad));
+    }
+    assert!(verdicts.0 + verdicts.1 == case, "every case must resolve");
+}

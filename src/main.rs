@@ -8,6 +8,7 @@
 //!                     [--seed N] [--reads N] [--qubo] [--stages]
 //!                     [--ladder a,b,c] [--deadline-ms N]
 //!                     [--max-attempts N] [--journal]
+//!                     [--run-dir DIR] [--resume]
 //! ```
 //!
 //! `--ladder`, `--deadline-ms`, or `--max-attempts` switch the run to
@@ -15,6 +16,13 @@
 //! (default: just `--backend`) under the given budget, and `--journal`
 //! prints the structured run journal — every attempt, fault, retry,
 //! breaker transition, and ladder step.
+//!
+//! `--run-dir DIR` makes the supervised run *durable*: every journal
+//! event, budget step, and periodic mid-solve checkpoint is persisted
+//! into a crash-safe write-ahead log under `DIR`. After a crash (or a
+//! `kill -9`), `--resume --run-dir DIR` picks the run back up —
+//! completed ladder rungs are never re-run, and the interrupted solve
+//! continues from its last checkpoint.
 
 use nchoosek::cli::{format_assignment, parse_program};
 use nchoosek::prelude::*;
@@ -25,7 +33,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: nchoosek <file.nck> [--backend annealer|gate|classical|grover] \
          [--seed N] [--reads N] [--qubo] [--stages] \
-         [--ladder a,b,c] [--deadline-ms N] [--max-attempts N] [--journal]"
+         [--ladder a,b,c] [--deadline-ms N] [--max-attempts N] [--journal] \
+         [--run-dir DIR] [--resume]"
     );
     ExitCode::from(2)
 }
@@ -55,9 +64,16 @@ fn main() -> ExitCode {
     let mut deadline_ms: Option<u64> = None;
     let mut max_attempts: Option<u32> = None;
     let mut show_journal = false;
+    let mut run_dir: Option<String> = None;
+    let mut resume = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--run-dir" => match it.next() {
+                Some(d) => run_dir = Some(d),
+                None => return usage(),
+            },
+            "--resume" => resume = true,
             "--backend" => match it.next() {
                 Some(b) => backend = b,
                 None => return usage(),
@@ -132,9 +148,16 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if resume && run_dir.is_none() {
+        eprintln!("error: --resume requires --run-dir");
+        return usage();
+    }
     // Any supervision flag switches the run to the resilience
     // supervisor; `--ladder` defaults to just the selected backend.
-    let supervised = ladder_arg.is_some() || deadline_ms.is_some() || max_attempts.is_some();
+    let supervised = ladder_arg.is_some()
+        || deadline_ms.is_some()
+        || max_attempts.is_some()
+        || run_dir.is_some();
     let rung_names: Vec<String> = ladder_arg
         .map(|l| l.split(',').map(str::to_string).collect())
         .unwrap_or_else(|| vec![backend.clone()]);
@@ -155,9 +178,24 @@ fn main() -> ExitCode {
         if let Some(a) = max_attempts {
             budget.max_attempts = a;
         }
-        let sup = Supervisor { budget, retry: RetryPolicy { seed, ..RetryPolicy::default() } };
+        let sup = Supervisor {
+            budget,
+            retry: RetryPolicy { seed, ..RetryPolicy::default() },
+            ..Supervisor::default()
+        };
         let ladder: Vec<&dyn Backend> = rungs.iter().map(|b| b.as_ref()).collect();
-        sup.run(&plan, &ladder, seed).map_err(|failure| {
+        let run = match &run_dir {
+            Some(dir) => {
+                let dir = std::path::Path::new(dir);
+                if resume {
+                    sup.resume_durable(&plan, &ladder, seed, dir)
+                } else {
+                    sup.run_durable(&plan, &ladder, seed, dir)
+                }
+            }
+            None => sup.run(&plan, &ladder, seed),
+        };
+        run.map_err(|failure| {
             if show_journal {
                 eprint!("{}", failure.journal.render());
             }
